@@ -1,0 +1,76 @@
+// Command poptbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	poptbench -list
+//	poptbench [-scale tiny|default|large] [-seed N] all
+//	poptbench fig10 fig12a table4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"popt/internal/bench"
+	"popt/internal/graph"
+)
+
+func main() {
+	scale := flag.String("scale", "default", "input scale: tiny, default, or large")
+	seed := flag.Int64("seed", 42, "generator seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Seed = *seed
+	switch *scale {
+	case "tiny":
+		cfg.Scale = graph.ScaleTiny
+	case "default":
+		cfg.Scale = graph.ScaleDefault
+	case "large":
+		cfg.Scale = graph.ScaleLarge
+	default:
+		fmt.Fprintf(os.Stderr, "poptbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "poptbench: name experiments to run (or 'all'); -list shows them")
+		os.Exit(2)
+	}
+	var exps []bench.Experiment
+	if len(ids) == 1 && ids[0] == "all" {
+		exps = bench.Registry()
+	} else {
+		for _, id := range ids {
+			e, ok := bench.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "poptbench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+	for _, e := range exps {
+		start := time.Now()
+		rep := e.Run(cfg)
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", rep.ID, rep.Title, rep.CSV())
+		} else {
+			fmt.Println(rep.String())
+			fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command poptmrc computes locality profiles — miss-ratio curves and
+// reuse-distance histograms — for a kernel's memory reference stream,
+// optionally restricted to its irregularly accessed data. These profiles
+// motivate the paper (graph reuse defeats history-based policies) and size
+// simulated caches.
+//
+// Usage:
+//
+//	poptmrc -app PR -graph KRON [-scale tiny] [-irregular=true]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"popt/internal/analysis"
+	"popt/internal/bench"
+	"popt/internal/graph"
+	"popt/internal/kernels"
+	"popt/internal/mem"
+)
+
+func main() {
+	app := flag.String("app", "PR", "application: PR, CC, PR-Delta, Radii, MIS")
+	gname := flag.String("graph", "URAND", "suite graph prefix")
+	scale := flag.String("scale", "tiny", "input scale: tiny, default, large")
+	irregular := flag.Bool("irregular", true, "restrict the trace to irregular arrays")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	switch *scale {
+	case "tiny":
+		cfg.Scale = graph.ScaleTiny
+	case "default":
+		cfg.Scale = graph.ScaleDefault
+	case "large":
+		cfg.Scale = graph.ScaleLarge
+	default:
+		fmt.Fprintln(os.Stderr, "poptmrc: unknown scale")
+		os.Exit(2)
+	}
+
+	var g *graph.Graph
+	for _, cand := range cfg.Suite() {
+		if strings.HasPrefix(strings.ToUpper(cand.Name), strings.ToUpper(*gname)) {
+			g = cand
+		}
+	}
+	if g == nil {
+		fmt.Fprintln(os.Stderr, "poptmrc: unknown graph (DBP, UK, KRON, URAND, HBUBL)")
+		os.Exit(2)
+	}
+	var builder kernels.Builder
+	for _, b := range kernels.All() {
+		if strings.EqualFold(b.Name, *app) {
+			builder = b
+		}
+	}
+	if builder.New == nil {
+		fmt.Fprintln(os.Stderr, "poptmrc: unknown app")
+		os.Exit(2)
+	}
+
+	w := builder.New(g)
+	trace := analysis.Capture(w, *irregular)
+	fmt.Printf("%s on %v: %d accesses captured (irregular-only=%v)\n\n", w.Name, g, len(trace), *irregular)
+
+	// Capacities spanning the footprint in powers of two.
+	mrcCaps := []int{}
+	footprint := 0
+	for _, a := range w.Irregular {
+		footprint += a.NumLines()
+	}
+	if !*irregular || footprint == 0 {
+		footprint = 1 << 16
+	}
+	for c := 16; c <= 2*footprint; c *= 2 {
+		mrcCaps = append(mrcCaps, c)
+	}
+	mrc := analysis.ComputeMRC(trace, mrcCaps)
+	fmt.Println("Miss-ratio curve (fully associative LRU):")
+	fmt.Print(mrc)
+
+	fmt.Println("\nReuse (stack) distance histogram, power-of-two buckets:")
+	hist := analysis.ReuseHistogram(trace)
+	for b := 0; b < len(hist)-1; b++ {
+		if hist[b] == 0 {
+			continue
+		}
+		fmt.Printf("  [%8d, %8d)  %9d (%.1f%%)\n", pow2lo(b), 1<<uint(b+1), hist[b],
+			100*float64(hist[b])/float64(len(trace)))
+	}
+	fmt.Printf("  cold                 %9d (%.1f%%)\n", hist[len(hist)-1],
+		100*float64(hist[len(hist)-1])/float64(len(trace)))
+
+	ws := analysis.WorkingSetLines(trace, 0.10)
+	fmt.Printf("\nworking set for <=10%% miss ratio: %d lines (%d KB)\n", ws, ws*mem.LineSize/1024)
+}
+
+// pow2lo returns the lower bound of power-of-two bucket b.
+func pow2lo(b int) int {
+	if b == 0 {
+		return 0
+	}
+	return 1 << uint(b)
+}

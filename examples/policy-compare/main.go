@@ -1,0 +1,69 @@
+// Policy comparison: run one application across the full replacement
+// policy zoo on one graph and print a locality league table — a
+// miniaturized Figure 4.
+//
+//	go run ./examples/policy-compare [-app PR-Delta] [-graph KRON]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"popt/internal/bench"
+	"popt/internal/core"
+	"popt/internal/graph"
+	"popt/internal/kernels"
+)
+
+func main() {
+	app := flag.String("app", "PR", "application: PR, CC, PR-Delta, Radii, MIS")
+	gname := flag.String("graph", "KRON", "suite graph prefix")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Scale = graph.ScaleTiny
+
+	var g *graph.Graph
+	for _, cand := range cfg.Suite() {
+		if strings.HasPrefix(strings.ToUpper(cand.Name), strings.ToUpper(*gname)) {
+			g = cand
+		}
+	}
+	if g == nil {
+		fmt.Fprintln(os.Stderr, "unknown graph; use DBP, UK, KRON, URAND, or HBUBL")
+		os.Exit(2)
+	}
+	var builder kernels.Builder
+	for _, b := range kernels.All() {
+		if strings.EqualFold(b.Name, *app) {
+			builder = b
+		}
+	}
+	if builder.New == nil {
+		fmt.Fprintln(os.Stderr, "unknown app; use PR, CC, PR-Delta, Radii, or MIS")
+		os.Exit(2)
+	}
+
+	setups := []bench.Setup{
+		bench.LRUSetup(), bench.DIPSetup(), bench.DRRIPSetup(), bench.SHiPPCSetup(), bench.SHiPMemSetup(),
+		bench.HawkeyeSetup(), bench.SDBPSetup(),
+		bench.POPTSetup(core.InterOnly, 8, true),
+		bench.POPTSetup(core.SingleEpoch, 8, true),
+		bench.POPTSetup(core.InterIntra, 8, true),
+		bench.TOPTSetup(),
+	}
+	fmt.Printf("%s on %v\n\n", builder.Name, g)
+	fmt.Printf("%-18s %10s %10s %12s %8s\n", "policy", "LLC miss%", "MPKI", "DRAM reads", "ways")
+	for _, s := range setups {
+		w := builder.New(g)
+		res := bench.RunWorkload(cfg, w, s)
+		if err := w.Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s corrupted results: %v\n", s.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-18s %9.1f%% %10.2f %12d %8d\n",
+			s.Name, 100*res.H.LLCMissRate(), res.MPKI(), res.H.DRAMReads, res.Reserved)
+	}
+}

@@ -1,0 +1,197 @@
+// Package analysis provides trace-based locality analysis: LRU stack
+// distances (Mattson's algorithm), miss-ratio curves, and reuse-distance
+// histograms. These are the measurements behind the paper's motivation —
+// graph reuse is dynamically variable and graph-structure-dependent — and
+// behind capacity planning for the simulator configurations (choosing an
+// LLC the working set meaningfully exceeds).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"popt/internal/mem"
+)
+
+// Cold marks a first-touch access in distance vectors.
+const Cold = -1
+
+// StackDistances computes, for each access in a line-address trace, its
+// LRU stack distance: the number of distinct lines referenced since the
+// previous access to the same line (0 = immediate re-reference of the
+// MRU line; Cold = first touch). A fully-associative LRU cache of
+// capacity c hits exactly the accesses with distance < c.
+//
+// Implementation: Mattson via a Fenwick tree over trace positions holding
+// a 1 at each line's most recent occurrence; the distance of access i
+// with previous occurrence j is the number of 1s strictly between them.
+// O(n log n) time, O(n) space.
+func StackDistances(trace []uint64) []int {
+	n := len(trace)
+	dist := make([]int, n)
+	bit := newFenwick(n + 1)
+	last := make(map[uint64]int, 1024)
+	for i, addr := range trace {
+		la := addr &^ (mem.LineSize - 1)
+		if j, ok := last[la]; ok {
+			// Distinct lines touched strictly between j and i: ones at
+			// 1-based BIT positions j+2..i (excluding the line's own
+			// most-recent marker at j+1).
+			dist[i] = bit.prefix(i) - bit.prefix(j+1)
+			bit.add(j+1, -1)
+		} else {
+			dist[i] = Cold
+		}
+		bit.add(i+1, 1)
+		last[la] = i
+	}
+	return dist
+}
+
+type fenwick struct{ tree []int }
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+// add adds delta at 1-based position i.
+func (f *fenwick) add(i, delta int) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix sums positions 1..i.
+func (f *fenwick) prefix(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// MRC is a miss-ratio curve: MissRatio[i] is the fraction of accesses that
+// miss in a fully-associative LRU cache of Capacities[i] lines.
+type MRC struct {
+	Capacities []int
+	MissRatio  []float64
+	Accesses   int
+	ColdMisses int
+	// DistinctLines is the trace's line footprint (the capacity at which
+	// only cold misses remain).
+	DistinctLines int
+}
+
+// ComputeMRC evaluates the miss ratio at the given capacities (in lines;
+// must be positive). Capacities are reported sorted ascending.
+func ComputeMRC(trace []uint64, capacities []int) MRC {
+	dists := StackDistances(trace)
+	caps := append([]int(nil), capacities...)
+	sort.Ints(caps)
+	mrc := MRC{Capacities: caps, MissRatio: make([]float64, len(caps)), Accesses: len(trace)}
+	// Histogram of finite distances.
+	maxD := 0
+	for _, d := range dists {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	hist := make([]int, maxD+2)
+	seen := make(map[uint64]bool, 1024)
+	for i, d := range dists {
+		if d == Cold {
+			mrc.ColdMisses++
+		} else {
+			hist[d]++
+		}
+		seen[trace[i]&^(mem.LineSize-1)] = true
+	}
+	mrc.DistinctLines = len(seen)
+	// Cumulative hits for capacity c = sum of hist[d] for d < c.
+	cum := make([]int, len(hist)+1)
+	for d, h := range hist {
+		cum[d+1] = cum[d] + h
+	}
+	for i, c := range caps {
+		hits := 0
+		if c > len(hist) {
+			hits = cum[len(hist)]
+		} else if c > 0 {
+			hits = cum[c]
+		}
+		if mrc.Accesses > 0 {
+			mrc.MissRatio[i] = float64(mrc.Accesses-hits) / float64(mrc.Accesses)
+		}
+	}
+	return mrc
+}
+
+func (m MRC) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "accesses=%d distinctLines=%d coldMisses=%d\n", m.Accesses, m.DistinctLines, m.ColdMisses)
+	fmt.Fprintf(&sb, "%12s  %10s  %9s\n", "lines", "bytes", "miss%")
+	for i, c := range m.Capacities {
+		fmt.Fprintf(&sb, "%12d  %10d  %8.1f%%\n", c, c*mem.LineSize, 100*m.MissRatio[i])
+	}
+	return sb.String()
+}
+
+// ReuseHistogram buckets finite stack distances by powers of two: bucket i
+// counts accesses with distance in [2^i, 2^(i+1)) (bucket 0 includes
+// distance 0). The last returned element counts cold misses.
+func ReuseHistogram(trace []uint64) []int {
+	dists := StackDistances(trace)
+	var hist []int
+	cold := 0
+	for _, d := range dists {
+		if d == Cold {
+			cold++
+			continue
+		}
+		b := 0
+		for x := d; x > 1; x >>= 1 {
+			b++
+		}
+		for len(hist) <= b {
+			hist = append(hist, 0)
+		}
+		hist[b]++
+	}
+	return append(hist, cold)
+}
+
+// WorkingSetLines returns the smallest LRU capacity (in lines) at which
+// the miss ratio drops to at most target (counting cold misses); it
+// returns DistinctLines when even full residency cannot reach the target.
+// Useful for sizing simulated LLCs against a workload.
+func WorkingSetLines(trace []uint64, target float64) int {
+	dists := StackDistances(trace)
+	maxD := 0
+	for _, d := range dists {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	hist := make([]int, maxD+2)
+	cold := 0
+	for _, d := range dists {
+		if d == Cold {
+			cold++
+		} else {
+			hist[d]++
+		}
+	}
+	misses := len(dists)
+	for c := 0; c <= maxD+1; c++ {
+		if float64(misses)/float64(len(dists)) <= target {
+			return c
+		}
+		if c <= maxD {
+			misses -= hist[c]
+		}
+	}
+	seen := make(map[uint64]bool, 1024)
+	for _, a := range trace {
+		seen[a&^(mem.LineSize-1)] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"popt/internal/cache"
+	"popt/internal/graph"
+	"popt/internal/kernels"
+	"popt/internal/mem"
+)
+
+func lineTrace(ids ...int) []uint64 {
+	t := make([]uint64, len(ids))
+	for i, id := range ids {
+		t[i] = uint64(id) * mem.LineSize
+	}
+	return t
+}
+
+func TestStackDistancesHandExample(t *testing.T) {
+	// a b c a b b a: distances Cold Cold Cold 2 2 0 1
+	got := StackDistances(lineTrace(0, 1, 2, 0, 1, 1, 0))
+	want := []int{Cold, Cold, Cold, 2, 2, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dist[%d] = %d, want %d (full %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestStackDistancesSubLineAccesses(t *testing.T) {
+	// Two addresses in the same line are the same stack entry.
+	got := StackDistances([]uint64{0, 8, 64, 16})
+	want := []int{Cold, 0, Cold, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dist = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestStackDistancePredictsLRU is the key cross-validation: a fully
+// associative LRU cache of capacity c must hit exactly the accesses with
+// stack distance < c.
+func TestStackDistancePredictsLRU(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trace := make([]uint64, 4000)
+	for i := range trace {
+		trace[i] = uint64(rng.Intn(96)) * mem.LineSize
+	}
+	dists := StackDistances(trace)
+	for _, capacity := range []int{1, 2, 8, 16, 64} {
+		wantHits := 0
+		for _, d := range dists {
+			if d != Cold && d < capacity {
+				wantHits++
+			}
+		}
+		l := cache.NewLevel("FA", capacity*mem.LineSize, capacity, cache.NewLRU())
+		stats := cache.SimulateTrace(l, trace)
+		if int(stats.Hits) != wantHits {
+			t.Errorf("capacity %d: LRU hits %d, stack-distance prediction %d", capacity, stats.Hits, wantHits)
+		}
+	}
+}
+
+func TestMRCMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	trace := make([]uint64, 5000)
+	for i := range trace {
+		trace[i] = uint64(rng.Intn(256)) * mem.LineSize
+	}
+	caps := []int{1, 4, 16, 64, 256, 1024}
+	mrc := ComputeMRC(trace, caps)
+	for i := 1; i < len(mrc.MissRatio); i++ {
+		if mrc.MissRatio[i] > mrc.MissRatio[i-1]+1e-12 {
+			t.Fatalf("MRC not monotone: %v", mrc.MissRatio)
+		}
+	}
+	// At capacity >= footprint only cold misses remain.
+	lastMR := mrc.MissRatio[len(mrc.MissRatio)-1]
+	wantCold := float64(mrc.ColdMisses) / float64(mrc.Accesses)
+	if lastMR != wantCold {
+		t.Errorf("full-capacity miss ratio %v, want cold-only %v", lastMR, wantCold)
+	}
+	if mrc.DistinctLines != 256 {
+		t.Errorf("DistinctLines = %d, want 256", mrc.DistinctLines)
+	}
+}
+
+func TestReuseHistogramSums(t *testing.T) {
+	trace := lineTrace(0, 1, 2, 0, 1, 1, 0)
+	hist := ReuseHistogram(trace)
+	total := 0
+	for _, h := range hist {
+		total += h
+	}
+	if total != len(trace) {
+		t.Fatalf("histogram sums to %d, want %d", total, len(trace))
+	}
+	if hist[len(hist)-1] != 3 {
+		t.Errorf("cold count = %d, want 3", hist[len(hist)-1])
+	}
+}
+
+func TestWorkingSetLines(t *testing.T) {
+	// Cyclic trace over 10 lines: capacity 10 gives only cold misses.
+	var trace []uint64
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 10; i++ {
+			trace = append(trace, uint64(i)*mem.LineSize)
+		}
+	}
+	ws := WorkingSetLines(trace, 0.06)
+	if ws != 10 {
+		t.Errorf("WorkingSetLines = %d, want 10", ws)
+	}
+	// Impossible target: footprint is the answer.
+	if ws := WorkingSetLines(trace, 0.0); ws != 10 {
+		t.Errorf("WorkingSetLines(0) = %d, want footprint 10", ws)
+	}
+}
+
+// Property: distances are always >= 0 or Cold, and an immediate
+// re-reference has distance 0.
+func TestStackDistanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(200)
+		trace := make([]uint64, n)
+		for i := range trace {
+			trace[i] = uint64(rng.Intn(32)) * mem.LineSize
+		}
+		dists := StackDistances(trace)
+		for i := 1; i < n; i++ {
+			if trace[i] == trace[i-1] && dists[i] != 0 {
+				return false
+			}
+			if dists[i] < Cold {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCaptureIrregularOnly(t *testing.T) {
+	g := graph.Uniform(512, 4096, 3)
+	w := kernels.NewPageRank(g)
+	trace := Capture(w, true)
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	// PR's irregular reads equal the edge count per pull iteration (plus
+	// the streaming contrib writes land in the same array; Capture keeps
+	// them because they touch the irregular array).
+	arr := w.Irregular[0]
+	for _, a := range trace {
+		if !arr.Contains(a) {
+			t.Fatalf("trace leaked non-irregular address %#x", a)
+		}
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+	full := Capture(kernels.NewPageRank(g), false)
+	if len(full) <= len(trace) {
+		t.Error("full trace should exceed irregular-only trace")
+	}
+}
+
+// TestPaperMotivation reproduces the paper's Section II observation on our
+// inputs: the irregular stream of PageRank has a working set far beyond
+// any practical LLC while the MRC stays high until capacity approaches the
+// full vertex data footprint.
+func TestPaperMotivation(t *testing.T) {
+	g := graph.Kron(13, 4, 5)
+	w := kernels.NewPageRank(g)
+	trace := Capture(w, true)
+	lines := w.Irregular[0].NumLines()
+	mrc := ComputeMRC(trace, []int{lines / 32, lines / 8, lines / 2, lines})
+	t.Logf("\n%v", mrc)
+	if mrc.MissRatio[0] < 2*mrc.MissRatio[2] {
+		t.Errorf("MRC should fall steeply only near the full footprint: %v", mrc.MissRatio)
+	}
+}

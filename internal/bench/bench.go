@@ -1,0 +1,293 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section VII). Each experiment is a named driver that builds
+// workloads, runs them under the relevant policy setups, and reports the
+// same rows/series the paper plots. Experiment IDs mirror the paper:
+// fig2..fig16, table1..table4.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"popt/internal/cache"
+	"popt/internal/core"
+	"popt/internal/graph"
+	"popt/internal/kernels"
+	"popt/internal/perf"
+)
+
+// Config selects the input scale and cache shape for a run.
+type Config struct {
+	Scale graph.Scale
+	Seed  int64
+	// Cache returns the hierarchy configuration for an LLC policy; when
+	// nil, the scale-matched default is used.
+	Cache func(llc func() cache.Policy) cache.Config
+}
+
+// DefaultConfig is the standard experiment configuration.
+func DefaultConfig() Config { return Config{Scale: graph.ScaleDefault, Seed: 42} }
+
+// TinyConfig is a fast configuration for tests and benchmarks.
+func TinyConfig() Config { return Config{Scale: graph.ScaleTiny, Seed: 42} }
+
+func (c Config) cacheConfig(llc func() cache.Policy) cache.Config {
+	if c.Cache != nil {
+		return c.Cache(llc)
+	}
+	switch c.Scale {
+	case graph.ScaleTiny:
+		return cache.Config{
+			L1Size: 1 << 10, L1Ways: 4,
+			L2Size: 4 << 10, L2Ways: 4,
+			LLCSize: 16 << 10, LLCWays: 16,
+			LLCPolicy: llc,
+		}
+	case graph.ScaleLarge:
+		return cache.TableI(llc)
+	default:
+		return cache.Scaled(llc)
+	}
+}
+
+// Suite returns the input graphs for the config.
+func (c Config) Suite() []*graph.Graph { return graph.Suite(c.Scale, c.Seed) }
+
+// Report is a rendered experiment result.
+type Report struct {
+	ID     string
+	Title  string
+	Notes  []string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// CSV renders the report as comma-separated values (header row first).
+// Cells containing commas or quotes are quoted.
+func (r *Report) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// String renders an aligned text table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "   %s\n", n)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(c Config) *Report
+}
+
+// Registry returns every experiment, sorted by ID.
+func Registry() []Experiment {
+	exps := []Experiment{
+		{"fig2", "LLC MPKI across state-of-the-art policies (PageRank)", Fig2},
+		{"fig4", "T-OPT vs. state-of-the-art policies (PageRank MPKI)", Fig4},
+		{"fig7", "Rereference Matrix designs vs. T-OPT (miss reduction over DRRIP)", Fig7},
+		{"fig10", "Speedups and LLC miss reductions with P-OPT and T-OPT", Fig10},
+		{"fig11", "P-OPT vs. P-OPT-SE across graph sizes", Fig11},
+		{"fig12a", "P-OPT vs. GRASP on DBG-ordered graphs", Fig12a},
+		{"fig12b", "P-OPT vs. HATS-BDFS", Fig12b},
+		{"fig13", "P-OPT and CSR-segmenting (tiling) interaction", Fig13},
+		{"fig14", "P-OPT with Propagation Blocking and PHI", Fig14},
+		{"fig15", "Sensitivity to quantization width", Fig15},
+		{"fig16", "Sensitivity to LLC size and associativity", Fig16},
+		{"table1", "Simulation parameters", Table1},
+		{"table2", "Applications", Table2},
+		{"table3", "Input graphs", Table3},
+		{"table4", "Rereference Matrix preprocessing cost", Table4},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Result captures one simulated run for reporting.
+type Result struct {
+	Policy   string
+	H        *cache.Hierarchy
+	Streamed uint64  // Rereference Matrix bytes (P-OPT only)
+	Reserved int     // reserved LLC ways
+	TieRate  float64 // P-OPT tie rate
+}
+
+// MPKI returns the run's LLC misses per kilo-instruction.
+func (r Result) MPKI() float64 { return r.H.LLCMPKI() }
+
+// Breakdown models the run's cycles.
+func (r Result) Breakdown() perf.Breakdown { return perf.Model(r.H, r.Streamed, perf.Default()) }
+
+// MissReduction returns the relative LLC miss reduction of r vs. base in
+// percent (positive = fewer misses).
+func MissReduction(base, r Result) float64 {
+	b := float64(base.H.LLC.Stats.Misses)
+	if b == 0 {
+		return 0
+	}
+	return 100 * (b - float64(r.H.LLC.Stats.Misses)) / b
+}
+
+// Setup names a policy configuration applicable to any workload.
+type Setup struct {
+	Name string
+	// Make builds the LLC policy for workload w under the given cache
+	// configuration; it returns the policy, the update_index hook (nil if
+	// unused), and the number of reserved ways.
+	Make func(w *kernels.Workload, cfg cache.Config) (cache.Policy, core.VertexIndexed, int)
+}
+
+// Plain wraps a workload-independent policy constructor.
+func Plain(name string, mk func() cache.Policy) Setup {
+	return Setup{Name: name, Make: func(*kernels.Workload, cache.Config) (cache.Policy, core.VertexIndexed, int) {
+		return mk(), nil, 0
+	}}
+}
+
+// LRUSetup and friends are the baseline policy zoo.
+func LRUSetup() Setup    { return Plain("LRU", func() cache.Policy { return cache.NewLRU() }) }
+func DRRIPSetup() Setup  { return Plain("DRRIP", func() cache.Policy { return cache.NewDRRIP(1) }) }
+func SHiPPCSetup() Setup { return Plain("SHiP-PC", func() cache.Policy { return cache.NewSHiPPC() }) }
+func SHiPMemSetup() Setup {
+	return Plain("SHiP-Mem", func() cache.Policy { return cache.NewSHiPMem() })
+}
+func HawkeyeSetup() Setup { return Plain("Hawkeye", func() cache.Policy { return cache.NewHawkeye() }) }
+
+// TOPTSetup builds the idealized transpose oracle.
+func TOPTSetup() Setup {
+	return Setup{Name: "T-OPT", Make: func(w *kernels.Workload, _ cache.Config) (cache.Policy, core.VertexIndexed, int) {
+		p := core.BuildTOPT(w.RefAdj, w.Irregular...)
+		return p, p, 0
+	}}
+}
+
+// POPTSetup builds P-OPT with the given encoding and width. When
+// chargeWays is false the reserved-way capacity cost is omitted (the
+// paper's limit-case studies, Fig. 7 and 15, do this).
+func POPTSetup(kind core.Kind, bits uint, chargeWays bool) Setup {
+	name := "P-OPT"
+	switch kind {
+	case core.InterOnly:
+		name = "P-OPT-inter-only"
+	case core.SingleEpoch:
+		name = "P-OPT-SE"
+	}
+	if bits != 8 {
+		name = fmt.Sprintf("%s-%db", name, bits)
+	}
+	return Setup{Name: name, Make: func(w *kernels.Workload, cfg cache.Config) (cache.Policy, core.VertexIndexed, int) {
+		p := core.BuildPOPT(w.RefAdj, w.G.NumVertices(), kind, bits, w.Irregular...)
+		reserve := 0
+		if chargeWays {
+			reserve = p.ReservedWays(cfg.LLCSize / (cfg.LLCWays * 64))
+		}
+		return p, p, reserve
+	}}
+}
+
+// RunWorkload simulates one (workload, setup) pair under c's cache config
+// and returns the result. The workload must be freshly built (its state is
+// consumed).
+func RunWorkload(c Config, w *kernels.Workload, s Setup) Result {
+	var pol cache.Policy
+	var hook core.VertexIndexed
+	reserve := 0
+	cfg := c.cacheConfig(func() cache.Policy { return pol })
+	pol, hook, reserve = s.Make(w, cfg)
+	if reserve >= cfg.LLCWays {
+		reserve = cfg.LLCWays - 1 // metadata would swamp the LLC; saturate
+	}
+	h := cache.NewHierarchy(cfg)
+	if reserve > 0 {
+		h.LLC.Reserve(reserve)
+	}
+	r := kernels.NewRunner(h, hook)
+	w.Run(r)
+	res := Result{Policy: s.Name, H: h, Reserved: reserve}
+	if p, ok := pol.(*core.POPT); ok {
+		res.Streamed = p.BytesStreamed
+		res.TieRate = p.TieRate()
+	}
+	return res
+}
+
+// pct formats a percentage.
+func pct(x float64) string { return fmt.Sprintf("%+.1f%%", x) }
+
+// f2 formats a float with two decimals.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// SDBPSetup builds the dead-block-prediction baseline (related work).
+func SDBPSetup() Setup { return Plain("SDBP", func() cache.Policy { return cache.NewSDBP() }) }
+
+// DIPSetup builds the adaptive-insertion baseline.
+func DIPSetup() Setup { return Plain("DIP", func() cache.Policy { return cache.NewDIP(1) }) }
+
+// AllBaselineSetups returns the full policy zoo, useful for tools.
+func AllBaselineSetups() []Setup {
+	return []Setup{
+		LRUSetup(), DIPSetup(), DRRIPSetup(), SHiPPCSetup(), SHiPMemSetup(),
+		HawkeyeSetup(), SDBPSetup(),
+	}
+}

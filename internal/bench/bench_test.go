@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"popt/internal/cache"
+	"popt/internal/core"
+	"popt/internal/graph"
+	"popt/internal/kernels"
+)
+
+func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
+	want := []string{"fig2", "fig4", "fig7", "fig10", "fig11", "fig12a", "fig12b",
+		"fig13", "fig14", "fig15", "fig16", "table1", "table2", "table3", "table4"}
+	got := map[string]bool{}
+	for _, e := range Registry() {
+		got[e.ID] = true
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(got), len(want))
+	}
+	if _, ok := ByID("fig10"); !ok {
+		t.Error("ByID lookup failed")
+	}
+	if _, ok := ByID("nonsense"); ok {
+		t.Error("ByID accepted an unknown id")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "x", Title: "t", Header: []string{"a", "bbbb"}, Notes: []string{"note"}}
+	r.AddRow("1", "2")
+	out := r.String()
+	for _, want := range []string{"== x: t ==", "note", "a", "bbbb", "1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEveryExperimentRunsAtTinyScale smoke-tests all 15 experiments
+// end-to-end: each must produce a non-empty report without panicking.
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	c := TinyConfig()
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep := e.Run(c)
+			if rep == nil || len(rep.Rows) == 0 {
+				t.Fatalf("%s produced an empty report", e.ID)
+			}
+			if rep.ID != e.ID {
+				t.Errorf("report id %q != experiment id %q", rep.ID, e.ID)
+			}
+			t.Log("\n" + rep.String())
+		})
+	}
+}
+
+// TestHeadlineShape verifies the paper's central qualitative claims at
+// tiny scale on a uniform graph: P-OPT beats DRRIP on misses, T-OPT bounds
+// P-OPT, and the modeled speedups follow the same order.
+func TestHeadlineShape(t *testing.T) {
+	c := TinyConfig()
+	g := graph.Uniform(1<<12, 8<<12, 7)
+
+	lru := RunWorkload(c, kernels.NewPageRank(g), LRUSetup())
+	drrip := RunWorkload(c, kernels.NewPageRank(g), DRRIPSetup())
+	popt := RunWorkload(c, kernels.NewPageRank(g), POPTSetup(core.InterIntra, 8, true))
+	topt := RunWorkload(c, kernels.NewPageRank(g), TOPTSetup())
+
+	if !(topt.H.LLC.Stats.Misses < popt.H.LLC.Stats.Misses) {
+		t.Errorf("T-OPT (%d misses) must bound P-OPT (%d)", topt.H.LLC.Stats.Misses, popt.H.LLC.Stats.Misses)
+	}
+	if !(popt.H.LLC.Stats.Misses < drrip.H.LLC.Stats.Misses) {
+		t.Errorf("P-OPT (%d misses) must beat DRRIP (%d)", popt.H.LLC.Stats.Misses, drrip.H.LLC.Stats.Misses)
+	}
+	lruB := lru.Breakdown()
+	spPOPT := lruB.Total() / popt.Breakdown().Total()
+	spDRRIP := lruB.Total() / drrip.Breakdown().Total()
+	if spPOPT <= spDRRIP {
+		t.Errorf("P-OPT speedup %.2fx must exceed DRRIP %.2fx", spPOPT, spDRRIP)
+	}
+	t.Logf("speedups vs LRU: DRRIP %.2fx, P-OPT %.2fx, T-OPT %.2fx",
+		spDRRIP, spPOPT, lruB.Total()/topt.Breakdown().Total())
+}
+
+func TestMissReductionMath(t *testing.T) {
+	base := Result{H: hWithMisses(1000)}
+	better := Result{H: hWithMisses(750)}
+	if mr := MissReduction(base, better); mr != 25 {
+		t.Errorf("MissReduction = %v, want 25", mr)
+	}
+}
+
+func TestPOPTSetupNames(t *testing.T) {
+	cases := map[string]Setup{
+		"P-OPT":            POPTSetup(core.InterIntra, 8, true),
+		"P-OPT-inter-only": POPTSetup(core.InterOnly, 8, true),
+		"P-OPT-SE":         POPTSetup(core.SingleEpoch, 8, true),
+		"P-OPT-4b":         POPTSetup(core.InterIntra, 4, false),
+		"P-OPT-16b":        POPTSetup(core.InterIntra, 16, false),
+	}
+	for want, s := range cases {
+		if s.Name != want {
+			t.Errorf("setup name = %q, want %q", s.Name, want)
+		}
+	}
+}
+
+// hWithMisses builds a hierarchy stub carrying only an LLC miss count.
+func hWithMisses(misses uint64) *cache.Hierarchy {
+	h := cache.NewHierarchy(cache.Config{
+		L1Size: 1 << 10, L1Ways: 4,
+		L2Size: 2 << 10, L2Ways: 4,
+		LLCSize: 4 << 10, LLCWays: 4,
+		LLCPolicy: func() cache.Policy { return cache.NewLRU() },
+	})
+	h.LLC.Stats.Misses = misses
+	return h
+}
+
+func TestReportCSV(t *testing.T) {
+	r := &Report{ID: "x", Title: "t", Header: []string{"a", "b"}}
+	r.AddRow("1", `va"l,ue`)
+	got := r.CSV()
+	want := "a,b\n1,\"va\"\"l,ue\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestAllBaselineSetupsBuild(t *testing.T) {
+	g := graph.Uniform(512, 2048, 3)
+	for _, s := range AllBaselineSetups() {
+		res := RunWorkload(TinyConfig(), kernels.NewPageRank(g), s)
+		if res.H.L1.Stats.Accesses == 0 {
+			t.Errorf("%s: no simulation happened", s.Name)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package cache is a trace-driven, multi-level, set-associative cache
+// hierarchy simulator with pluggable replacement policies. It plays the
+// role of the Pin-based cache simulator the paper uses for all locality
+// results: kernels feed it the logical memory reference stream and it
+// reports per-level hit/miss statistics.
+//
+// The package provides the baseline policy zoo the paper compares against —
+// LRU, Bit-PLRU, Random, SRRIP/BRRIP/DRRIP, SHiP-PC, SHiP-Mem, Hawkeye and
+// GRASP — while the paper's own T-OPT and P-OPT policies live in
+// internal/core and plug into the same Policy interface.
+package cache
+
+import (
+	"fmt"
+
+	"popt/internal/mem"
+)
+
+// Line is one cache line's bookkeeping. Addr is the full line-aligned
+// address (a simulator convenience standing in for tag+index).
+type Line struct {
+	Valid bool
+	Dirty bool
+	Addr  uint64
+	PC    uint16
+}
+
+// Geometry describes a cache level to a policy at bind time.
+type Geometry struct {
+	Sets int
+	Ways int
+	// ReservedWays [0, ReservedWays) never hold demand data; P-OPT pins
+	// Rereference Matrix columns there. Victim must not return them.
+	ReservedWays int
+}
+
+// Policy decides replacement within one cache level. Implementations keep
+// per-line metadata sized at Bind time. The Level calls OnHit for every
+// hit, Victim+OnEvict+OnFill for every miss fill (Victim is skipped when an
+// invalid way exists), all with the triggering access.
+type Policy interface {
+	Name() string
+	Bind(g Geometry)
+	OnHit(set, way int, acc mem.Access)
+	OnFill(set, way int, acc mem.Access)
+	// OnEvict is called just before a valid line at (set, way) is replaced.
+	OnEvict(set, way int)
+	// Victim selects the way to replace in set; every way in
+	// [ReservedWays, Ways) holds a valid line when called. lines aliases
+	// the set's storage and must not be modified.
+	Victim(set int, lines []Line, acc mem.Access) int
+}
+
+// Stats accumulates per-level counters.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// MissRate returns Misses/Accesses (0 when idle).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.Writebacks += other.Writebacks
+}
+
+// Level is one set-associative cache level.
+type Level struct {
+	Name  string
+	sets  int
+	ways  int
+	resvd int
+	lines []Line // sets*ways, row-major by set
+	pol   Policy
+	Stats Stats
+}
+
+// NewLevel builds a level of the given total size with the given
+// associativity and policy. The set count need not be a power of two
+// (the paper's 24 MB/16-way LLC has 24576 sets; its footnote 3 gives the
+// modulo mapping for non-power-of-two set counts, which is used here).
+func NewLevel(name string, sizeBytes, ways int, pol Policy) *Level {
+	sets := sizeBytes / (ways * mem.LineSize)
+	if sets <= 0 {
+		panic(fmt.Sprintf("cache %s: nonpositive set count (size=%d ways=%d)", name, sizeBytes, ways))
+	}
+	l := &Level{Name: name, sets: sets, ways: ways, lines: make([]Line, sets*ways), pol: pol}
+	pol.Bind(Geometry{Sets: sets, Ways: ways})
+	return l
+}
+
+// Sets returns the number of sets.
+func (l *Level) Sets() int { return l.sets }
+
+// Ways returns the associativity.
+func (l *Level) Ways() int { return l.ways }
+
+// ReservedWays returns how many ways are reserved for metadata.
+func (l *Level) ReservedWays() int { return l.resvd }
+
+// Reserve removes the first n ways from demand use (Intel CAT-style way
+// partitioning, used by P-OPT to pin Rereference Matrix columns). Any
+// demand lines currently in reserved ways are invalidated. The policy is
+// re-bound with the new geometry.
+func (l *Level) Reserve(n int) {
+	if n < 0 || n >= l.ways {
+		panic(fmt.Sprintf("cache %s: cannot reserve %d of %d ways", l.Name, n, l.ways))
+	}
+	l.resvd = n
+	for s := 0; s < l.sets; s++ {
+		for w := 0; w < n; w++ {
+			l.lines[s*l.ways+w] = Line{}
+		}
+	}
+	l.pol.Bind(Geometry{Sets: l.sets, Ways: l.ways, ReservedWays: n})
+}
+
+// Policy returns the bound replacement policy.
+func (l *Level) Policy() Policy { return l.pol }
+
+// SetIndex maps a line address to its set.
+func (l *Level) SetIndex(lineAddr uint64) int {
+	return int((lineAddr >> mem.LineShift) % uint64(l.sets))
+}
+
+// set returns the slice of ways for set s.
+func (l *Level) set(s int) []Line { return l.lines[s*l.ways : (s+1)*l.ways] }
+
+// Lookup probes for the line of acc without updating statistics or
+// replacement state; it reports presence (used by writeback handling).
+func (l *Level) Lookup(lineAddr uint64) (set, way int, ok bool) {
+	set = l.SetIndex(lineAddr)
+	ws := l.set(set)
+	for w := l.resvd; w < l.ways; w++ {
+		if ws[w].Valid && ws[w].Addr == lineAddr {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// Access performs a demand access. It returns true on hit. On miss the
+// caller is responsible for filling (after resolving lower levels).
+func (l *Level) Access(acc mem.Access) bool {
+	l.Stats.Accesses++
+	la := acc.LineAddr()
+	set, way, ok := l.Lookup(la)
+	if ok {
+		l.Stats.Hits++
+		if acc.Write {
+			l.set(set)[way].Dirty = true
+		}
+		l.pol.OnHit(set, way, acc)
+		return true
+	}
+	l.Stats.Misses++
+	return false
+}
+
+// Fill installs the line of acc, returning the evicted line if a valid one
+// was displaced.
+func (l *Level) Fill(acc mem.Access) (evicted Line, wasEvicted bool) {
+	la := acc.LineAddr()
+	set := l.SetIndex(la)
+	ws := l.set(set)
+	way := -1
+	for w := l.resvd; w < l.ways; w++ {
+		if !ws[w].Valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = l.pol.Victim(set, ws, acc)
+		if way < l.resvd || way >= l.ways {
+			panic(fmt.Sprintf("cache %s: policy %s returned invalid victim way %d (reserved=%d ways=%d)", l.Name, l.pol.Name(), way, l.resvd, l.ways))
+		}
+		evicted, wasEvicted = ws[way], true
+		l.Stats.Evictions++
+		l.pol.OnEvict(set, way)
+	}
+	ws[way] = Line{Valid: true, Dirty: acc.Write, Addr: la, PC: acc.PC}
+	l.pol.OnFill(set, way, acc)
+	return evicted, wasEvicted
+}
+
+// MarkDirty sets the dirty bit if the line is present, reporting presence.
+// Used to sink writebacks from an upper level.
+func (l *Level) MarkDirty(lineAddr uint64) bool {
+	set, way, ok := l.Lookup(lineAddr)
+	if ok {
+		l.set(set)[way].Dirty = true
+		l.Stats.Writebacks++
+	}
+	return ok
+}
+
+// Invalidate drops the line if present, returning whether it was dirty.
+func (l *Level) Invalidate(lineAddr uint64) (dirty, present bool) {
+	set, way, ok := l.Lookup(lineAddr)
+	if !ok {
+		return false, false
+	}
+	ws := l.set(set)
+	dirty = ws[way].Dirty
+	ws[way] = Line{}
+	return dirty, true
+}
+
+// Occupancy returns the number of valid demand lines (diagnostics/tests).
+func (l *Level) Occupancy() int {
+	n := 0
+	for i := range l.lines {
+		if l.lines[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates every line and resets nothing else (stats retained).
+func (l *Level) Flush() {
+	for i := range l.lines {
+		l.lines[i] = Line{}
+	}
+}

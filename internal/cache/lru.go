@@ -1,0 +1,137 @@
+package cache
+
+import (
+	"math/rand"
+
+	"popt/internal/mem"
+)
+
+// LRU is true least-recently-used replacement, the paper's simple baseline.
+type LRU struct {
+	g     Geometry
+	clock uint64
+	ts    []uint64 // per line, last-touch time
+}
+
+// NewLRU returns an LRU policy.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "LRU" }
+
+// Bind implements Policy.
+func (p *LRU) Bind(g Geometry) {
+	p.g = g
+	p.ts = make([]uint64, g.Sets*g.Ways)
+}
+
+func (p *LRU) touch(set, way int) {
+	p.clock++
+	p.ts[set*p.g.Ways+way] = p.clock
+}
+
+// OnHit implements Policy.
+func (p *LRU) OnHit(set, way int, _ mem.Access) { p.touch(set, way) }
+
+// OnFill implements Policy.
+func (p *LRU) OnFill(set, way int, _ mem.Access) { p.touch(set, way) }
+
+// OnEvict implements Policy.
+func (p *LRU) OnEvict(set, way int) {}
+
+// Victim implements Policy: the stalest way.
+func (p *LRU) Victim(set int, _ []Line, _ mem.Access) int {
+	base := set * p.g.Ways
+	best, bestTS := p.g.ReservedWays, p.ts[base+p.g.ReservedWays]
+	for w := p.g.ReservedWays + 1; w < p.g.Ways; w++ {
+		if p.ts[base+w] < bestTS {
+			best, bestTS = w, p.ts[base+w]
+		}
+	}
+	return best
+}
+
+// Random evicts a uniformly random way; a sanity baseline for tests.
+type Random struct {
+	g   Geometry
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random policy with a fixed seed for reproducibility.
+func NewRandom(seed int64) *Random { return &Random{rng: rand.New(rand.NewSource(seed))} }
+
+// Name implements Policy.
+func (p *Random) Name() string { return "Random" }
+
+// Bind implements Policy.
+func (p *Random) Bind(g Geometry) { p.g = g }
+
+// OnHit implements Policy.
+func (p *Random) OnHit(int, int, mem.Access) {}
+
+// OnFill implements Policy.
+func (p *Random) OnFill(int, int, mem.Access) {}
+
+// OnEvict implements Policy.
+func (p *Random) OnEvict(int, int) {}
+
+// Victim implements Policy.
+func (p *Random) Victim(int, []Line, mem.Access) int {
+	return p.g.ReservedWays + p.rng.Intn(p.g.Ways-p.g.ReservedWays)
+}
+
+// BitPLRU is the bit-pseudo-LRU policy Table I assigns to L1 and L2: one
+// MRU bit per way; a touch sets the way's bit, and when the last zero bit
+// would disappear all other bits reset. The victim is the first way with a
+// zero bit.
+type BitPLRU struct {
+	g    Geometry
+	bits []bool
+}
+
+// NewBitPLRU returns a Bit-PLRU policy.
+func NewBitPLRU() *BitPLRU { return &BitPLRU{} }
+
+// Name implements Policy.
+func (p *BitPLRU) Name() string { return "Bit-PLRU" }
+
+// Bind implements Policy.
+func (p *BitPLRU) Bind(g Geometry) {
+	p.g = g
+	p.bits = make([]bool, g.Sets*g.Ways)
+}
+
+func (p *BitPLRU) touch(set, way int) {
+	base := set * p.g.Ways
+	p.bits[base+way] = true
+	for w := p.g.ReservedWays; w < p.g.Ways; w++ {
+		if !p.bits[base+w] {
+			return // some zero bit remains
+		}
+	}
+	for w := p.g.ReservedWays; w < p.g.Ways; w++ {
+		if w != way {
+			p.bits[base+w] = false
+		}
+	}
+}
+
+// OnHit implements Policy.
+func (p *BitPLRU) OnHit(set, way int, _ mem.Access) { p.touch(set, way) }
+
+// OnFill implements Policy.
+func (p *BitPLRU) OnFill(set, way int, _ mem.Access) { p.touch(set, way) }
+
+// OnEvict implements Policy.
+func (p *BitPLRU) OnEvict(int, int) {}
+
+// Victim implements Policy.
+func (p *BitPLRU) Victim(set int, _ []Line, _ mem.Access) int {
+	base := set * p.g.Ways
+	for w := p.g.ReservedWays; w < p.g.Ways; w++ {
+		if !p.bits[base+w] {
+			return w
+		}
+	}
+	return p.g.ReservedWays
+}

@@ -1,0 +1,76 @@
+package cache
+
+import "popt/internal/mem"
+
+// S-NUCA bank mapping (Section V-E). A typical static-NUCA LLC stripes
+// consecutive cache lines across banks. P-OPT instead needs every
+// irregData line to live in the same bank as the Rereference Matrix line
+// holding its entry; since one 64 B matrix line covers 64 irregData lines,
+// irregData must be interleaved in 64-line blocks. These helpers compute
+// both mappings and verify the bank-local property; the performance effect
+// (bank contention from matrix lookups) is modeled in internal/perf.
+
+// BankMapping selects how line addresses map to NUCA banks.
+type BankMapping int
+
+const (
+	// StripeLines is the default S-NUCA policy: bank = (addr >> 6) % banks.
+	StripeLines BankMapping = iota
+	// StripeBlocks interleaves 64-line blocks: bank = (addr >> 12) % banks.
+	// P-OPT applies this mapping (via Reactive-NUCA page-level support) to
+	// the irregData huge page only.
+	StripeBlocks
+)
+
+// Bank returns the NUCA bank for a byte address under mapping m.
+func (m BankMapping) Bank(addr uint64, banks int) int {
+	switch m {
+	case StripeBlocks:
+		return int((addr >> (mem.LineShift + 6)) % uint64(banks))
+	default:
+		return int((addr >> mem.LineShift) % uint64(banks))
+	}
+}
+
+// NUCA models the bank layout of a distributed LLC for P-OPT's purposes:
+// irregData uses block interleaving while everything else (including the
+// Rereference Matrix, which is "other data") stripes by line.
+type NUCA struct {
+	Banks int
+	// IrregBase/IrregBound delimit the irregData huge page that uses
+	// StripeBlocks; all other addresses use StripeLines.
+	IrregBase, IrregBound uint64
+}
+
+// BankOf returns the bank holding the line of addr.
+func (n *NUCA) BankOf(addr uint64) int {
+	if addr >= n.IrregBase && addr < n.IrregBound {
+		return StripeBlocks.Bank(addr-n.IrregBase, n.Banks)
+	}
+	return StripeLines.Bank(addr, n.Banks)
+}
+
+// MatrixLineBank returns the bank of the Rereference Matrix line holding
+// entries for irregData lines [64*k, 64*k+64), where the matrix column is a
+// contiguous array starting at matrixBase. Matrix data uses line striping.
+func (n *NUCA) MatrixLineBank(matrixBase uint64, k int) int {
+	return StripeLines.Bank(matrixBase+uint64(k)*mem.LineSize, n.Banks)
+}
+
+// BankLocal reports whether every irregData line's matrix entry resides in
+// the same bank as the line itself, for a matrix column at matrixBase
+// covering numLines irregData lines. This is the invariant Section V-E's
+// modified mapping establishes; it holds exactly when the matrix column
+// base is bank-aligned with the irregData base.
+func (n *NUCA) BankLocal(matrixBase uint64, numLines int) bool {
+	for k := 0; k*64 < numLines; k++ {
+		matrixBank := n.MatrixLineBank(matrixBase, k)
+		for j := 0; j < 64 && k*64+j < numLines; j++ {
+			lineAddr := n.IrregBase + uint64(k*64+j)*mem.LineSize
+			if n.BankOf(lineAddr) != matrixBank {
+				return false
+			}
+		}
+	}
+	return true
+}

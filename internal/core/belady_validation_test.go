@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"popt/internal/cache"
+	"popt/internal/graph"
+	"popt/internal/mem"
+)
+
+// TestTOPTMatchesBeladyMIN validates the paper's central claim (Section
+// III): for a pull traversal's irregular accesses, replacement guided by
+// the graph transpose closely emulates true offline Belady MIN. T-OPT
+// operates at outer-loop-vertex granularity — it cannot see position
+// within the current vertex's neighbor list, so (a) lines next used at the
+// same future vertex tie, and (b) a line about to be reused later within
+// the current vertex reads as "next used at a later vertex". Those are the
+// only gaps, and they cost a bounded sliver of misses; MIN must never
+// lose.
+func TestTOPTMatchesBeladyMIN(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Uniform(512, 4096, 3),
+		graph.Kron(9, 6, 4),
+		graph.Community(512, 8, 32, 0.8, 5),
+	} {
+		g := g
+		t.Run(g.Name, func(t *testing.T) {
+			n := g.NumVertices()
+			sp := mem.NewSpace()
+			src := sp.AllocBytes("srcData", n, 64, true) // one vertex per line
+
+			// The pull traversal's irregular reference stream.
+			var trace []uint64
+			var vertexAt []graph.V // outer-loop vertex of each access
+			for dst := 0; dst < n; dst++ {
+				for _, s := range g.In.Neighs(graph.V(dst)) {
+					trace = append(trace, src.Addr(int(s)))
+					vertexAt = append(vertexAt, graph.V(dst))
+				}
+			}
+
+			const ways = 16
+			min := cache.NewLevel("MIN", ways*mem.LineSize, ways, cache.NewBeladyMIN(trace))
+			minStats := cache.SimulateTrace(min, trace)
+
+			topt := BuildTOPT(&g.Out, src)
+			lvl := cache.NewLevel("TOPT", ways*mem.LineSize, ways, topt)
+			for i, addr := range trace {
+				topt.UpdateIndex(vertexAt[i])
+				a := mem.Access{Addr: addr}
+				if !lvl.Access(a) {
+					lvl.Fill(a)
+				}
+			}
+
+			t.Logf("%s: MIN misses=%d T-OPT misses=%d ties=%d", g.Name, minStats.Misses, lvl.Stats.Misses, topt.Ties)
+			// MIN is optimal on this single (fully-associative) set, so
+			// T-OPT can never beat it; vertex granularity costs ~10% extra
+			// misses at this tiny scale (shrinking as vertices-per-epoch
+			// of real traversals grow), so require within 15%.
+			if lvl.Stats.Misses < minStats.Misses {
+				t.Fatalf("T-OPT (%d) beat MIN (%d): MIN broken", lvl.Stats.Misses, minStats.Misses)
+			}
+			if float64(lvl.Stats.Misses) > 1.15*float64(minStats.Misses) {
+				t.Errorf("T-OPT misses %d stray more than 15%% from MIN %d", lvl.Stats.Misses, minStats.Misses)
+			}
+		})
+	}
+}
+
+// TestPOPTApproachesBeladyMIN quantifies quantization loss end to end:
+// 8-bit P-OPT (no reserved-way cost, single-level) should stay within ~15%
+// of MIN's miss count on the same stream.
+func TestPOPTApproachesBeladyMIN(t *testing.T) {
+	g := graph.Uniform(1024, 8192, 9)
+	n := g.NumVertices()
+	sp := mem.NewSpace()
+	src := sp.AllocBytes("srcData", n, 64, true)
+
+	var trace []uint64
+	var vertexAt []graph.V
+	for dst := 0; dst < n; dst++ {
+		for _, s := range g.In.Neighs(graph.V(dst)) {
+			trace = append(trace, src.Addr(int(s)))
+			vertexAt = append(vertexAt, graph.V(dst))
+		}
+	}
+	const ways = 16
+	minStats := cache.SimulateTrace(cache.NewLevel("MIN", ways*mem.LineSize, ways, cache.NewBeladyMIN(trace)), trace)
+
+	popt := BuildPOPT(&g.Out, n, InterIntra, 8, src)
+	lvl := cache.NewLevel("POPT", ways*mem.LineSize, ways, popt)
+	for i, addr := range trace {
+		popt.UpdateIndex(vertexAt[i])
+		a := mem.Access{Addr: addr}
+		if !lvl.Access(a) {
+			lvl.Fill(a)
+		}
+	}
+	t.Logf("MIN=%d P-OPT=%d (tie rate %.0f%%)", minStats.Misses, lvl.Stats.Misses, 100*popt.TieRate())
+	if float64(lvl.Stats.Misses) > 1.15*float64(minStats.Misses) {
+		t.Errorf("P-OPT misses %d stray more than 15%% from MIN %d", lvl.Stats.Misses, minStats.Misses)
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"popt/internal/graph"
+	"popt/internal/mem"
+)
+
+// This file models the bookkeeping hardware of Section V: the next-ref
+// engine's buffers and the convenience wiring from kernel arrays to
+// policies.
+
+// NextRefBufferBytes returns the worst-case storage for next-ref buffers
+// (Section V-G): one buffer per concurrently outstanding LLC access, each
+// tracking one byte per LLC way. The paper's example — 8 cores × 10 L1
+// MSHRs × 16 ways — comes to 1.25 KB.
+func NextRefBufferBytes(cores, l1MSHRs, llcWays int) int {
+	return cores * l1MSHRs * llcWays
+}
+
+// BuildPOPT builds a Rereference Matrix per irregular array and wires them
+// into a P-OPT policy. refAdj is the transpose of the traversal direction
+// (out-adjacency for pull kernels, in-adjacency for push), numVertices the
+// outer-loop trip count. Arrays with the same elements-per-line share one
+// matrix, the optimization Section V-F allows ("if the irregular data
+// structures span different number of cache lines, otherwise a single
+// Rereference Matrix can be shared") — it halves both the build cost and
+// the pinned-column footprint when, e.g., two 4 B per-vertex arrays are
+// tracked.
+func BuildPOPT(refAdj *graph.Adj, numVertices int, kind Kind, bits uint, arrs ...*mem.Array) *POPT {
+	streams := make([]Stream, len(arrs))
+	byEPL := make(map[int]*Matrix)
+	for i, a := range arrs {
+		epl := a.ElemsPerLine()
+		m := byEPL[epl]
+		if m == nil {
+			m = BuildMatrix(refAdj, numVertices, epl, kind, bits)
+			byEPL[epl] = m
+		}
+		streams[i] = Stream{Arr: a, M: m}
+	}
+	return NewPOPT(streams...)
+}
+
+// BuildTOPT wires irregular arrays into a T-OPT policy sharing refAdj.
+func BuildTOPT(refAdj *graph.Adj, arrs ...*mem.Array) *TOPT {
+	streams := make([]OracleStream, len(arrs))
+	for i, a := range arrs {
+		streams[i] = OracleStream{Arr: a, Ref: refAdj}
+	}
+	return NewTOPT(streams...)
+}
+
+// VertexIndexed is implemented by policies that consume the update_index
+// instruction (P-OPT and T-OPT); kernel runners feed every policy that
+// implements it.
+type VertexIndexed interface {
+	UpdateIndex(v graph.V)
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"testing"
+
+	"popt/internal/cache"
+	"popt/internal/graph"
+	"popt/internal/mem"
+)
+
+// fig3Setup builds the paper's Figure 3 scenario: the example graph, a
+// srcData array with ONE element per cache line (so vertices and lines
+// coincide), and a 2-way fully-associative cache holding srcData lines.
+func fig3Setup(t *testing.T) (*graph.Graph, *mem.Array) {
+	t.Helper()
+	g := fig1Graph()
+	sp := mem.NewSpace()
+	// 64-byte elements -> one vertex per line, as in the figure.
+	src := sp.AllocBytes("srcData", g.NumVertices(), 64, true)
+	return g, src
+}
+
+func lineFor(a *mem.Array, v int) cache.Line {
+	return cache.Line{Valid: true, Addr: a.Addr(v)}
+}
+
+func TestTOPTReplacementScenarioA(t *testing.T) {
+	// Scenario A (Fig. 3, center): processing D0, cache holds
+	// srcData[S1] and srcData[S2]; srcData[S4] needs a slot. S1's next
+	// reference is D4, S2's is D1 -> evict S1.
+	g, src := fig3Setup(t)
+	p := BuildTOPT(&g.Out, src)
+	p.Bind(cache.Geometry{Sets: 1, Ways: 2})
+	p.UpdateIndex(0) // processing D0
+	lines := []cache.Line{lineFor(src, 1), lineFor(src, 2)}
+	victim := p.Victim(0, lines, mem.Access{Addr: src.Addr(4)})
+	if victim != 0 {
+		t.Errorf("scenario A: evicted way %d (S%d), want way 0 (S1)", victim, victim+1)
+	}
+}
+
+func TestTOPTReplacementScenarioB(t *testing.T) {
+	// Scenario B (Fig. 3, right): processing D1, cache holds srcData[S4]
+	// and srcData[S2]; srcData[S3] arrives. S4's next ref is D2, S2's is
+	// D3 -> evict S2.
+	g, src := fig3Setup(t)
+	p := BuildTOPT(&g.Out, src)
+	p.Bind(cache.Geometry{Sets: 1, Ways: 2})
+	p.UpdateIndex(1) // processing D1
+	lines := []cache.Line{lineFor(src, 4), lineFor(src, 2)}
+	victim := p.Victim(0, lines, mem.Access{Addr: src.Addr(3)})
+	if victim != 1 {
+		t.Errorf("scenario B: evicted way %d, want way 1 (S2)", victim)
+	}
+}
+
+func TestTOPTPrefersStreamingData(t *testing.T) {
+	// Section V-C: a way holding non-irregular (streaming) data is always
+	// the replacement candidate, regardless of irregular next references.
+	g, src := fig3Setup(t)
+	p := BuildTOPT(&g.Out, src)
+	p.Bind(cache.Geometry{Sets: 1, Ways: 3})
+	p.UpdateIndex(0)
+	lines := []cache.Line{
+		lineFor(src, 1),
+		{Valid: true, Addr: 0x10}, // outside srcData: streaming
+		lineFor(src, 2),
+	}
+	if victim := p.Victim(0, lines, mem.Access{Addr: src.Addr(4)}); victim != 1 {
+		t.Errorf("victim = %d, want the streaming way 1", victim)
+	}
+}
+
+func TestTOPTEvictsNoFutureUseFirst(t *testing.T) {
+	// S0's only out-neighbor is D2; past D2 it is dead and must lose to
+	// any vertex with a future reference.
+	g, src := fig3Setup(t)
+	p := BuildTOPT(&g.Out, src)
+	p.Bind(cache.Geometry{Sets: 1, Ways: 2})
+	p.UpdateIndex(2)                                        // past D2's processing start; S0 next ref gone after D2
+	lines := []cache.Line{lineFor(src, 0), lineFor(src, 2)} // S2 referenced at D3
+	if victim := p.Victim(0, lines, mem.Access{Addr: src.Addr(4)}); victim != 0 {
+		t.Errorf("victim = %d, want dead S0 at way 0", victim)
+	}
+}
+
+func TestPOPTReplacementMatchesScenarios(t *testing.T) {
+	// With fine quantization (epoch size 1 via many epochs), P-OPT's
+	// decisions reproduce T-OPT's on the Figure 3 scenarios.
+	g, src := fig3Setup(t)
+	p := BuildPOPT(&g.Out, g.NumVertices(), InterIntra, 8, src)
+	p.Bind(cache.Geometry{Sets: 1, Ways: 2})
+	p.UpdateIndex(0)
+	lines := []cache.Line{lineFor(src, 1), lineFor(src, 2)}
+	if victim := p.Victim(0, lines, mem.Access{Addr: src.Addr(4)}); victim != 0 {
+		t.Errorf("scenario A under P-OPT: victim %d, want 0 (S1)", victim)
+	}
+	// Scenario B exhibits the documented quantization boundary: with one
+	// vertex per epoch, S2's reference AT D1 is indistinguishable from a
+	// later reference within the epoch, so Algorithm 2 reports distance 0
+	// for S2 and 1 for S4 and evicts S4 — a legal approximation where
+	// T-OPT (strictly-future references) would evict S2. Assert the
+	// Algorithm 2 semantics.
+	p.UpdateIndex(1)
+	lines = []cache.Line{lineFor(src, 4), lineFor(src, 2)}
+	if victim := p.Victim(0, lines, mem.Access{Addr: src.Addr(3)}); victim != 0 {
+		t.Errorf("scenario B under P-OPT: victim %d, want 0 (S4, quantized view)", victim)
+	}
+}
+
+func TestPOPTPrefersStreamingData(t *testing.T) {
+	g, src := fig3Setup(t)
+	p := BuildPOPT(&g.Out, g.NumVertices(), InterIntra, 8, src)
+	p.Bind(cache.Geometry{Sets: 1, Ways: 2})
+	p.UpdateIndex(0)
+	lines := []cache.Line{{Valid: true, Addr: 0x40}, lineFor(src, 1)}
+	if victim := p.Victim(0, lines, mem.Access{Addr: src.Addr(4)}); victim != 0 {
+		t.Errorf("victim = %d, want streaming way 0", victim)
+	}
+}
+
+func TestPOPTRespectsReservedWaysInVictim(t *testing.T) {
+	g, src := fig3Setup(t)
+	p := BuildPOPT(&g.Out, g.NumVertices(), InterIntra, 8, src)
+	p.Bind(cache.Geometry{Sets: 1, Ways: 3, ReservedWays: 1})
+	p.UpdateIndex(0)
+	lines := []cache.Line{
+		{Valid: true, Addr: 0x40}, // reserved way: must never be chosen
+		lineFor(src, 1),
+		lineFor(src, 2),
+	}
+	for i := 0; i < 4; i++ {
+		if victim := p.Victim(0, lines, mem.Access{Addr: src.Addr(4)}); victim == 0 {
+			t.Fatal("P-OPT chose a reserved way")
+		}
+	}
+}
+
+func TestPOPTMultipleStreams(t *testing.T) {
+	// Two irregular arrays with different element widths share one P-OPT;
+	// victim lookups must route each address to its own matrix.
+	g := graph.Uniform(2048, 16384, 3)
+	sp := mem.NewSpace()
+	src := sp.AllocBytes("srcData", 2048, 4, true)
+	fr := sp.Alloc("frontier", 2048, 1, true)
+	p := BuildPOPT(&g.Out, 2048, InterIntra, 8, src, fr)
+	p.Bind(cache.Geometry{Sets: 1, Ways: 2})
+	p.UpdateIndex(0)
+	lines := []cache.Line{
+		{Valid: true, Addr: src.Addr(16)},
+		{Valid: true, Addr: fr.Addr(1024)},
+	}
+	// Just exercise the path; the assertion is absence of panics plus a
+	// valid way.
+	if v := p.Victim(0, lines, mem.Access{Addr: src.Addr(512)}); v != 0 && v != 1 {
+		t.Fatalf("invalid victim %d", v)
+	}
+	if p.Lookups != 1 {
+		t.Fatalf("Lookups = %d, want 1", p.Lookups)
+	}
+}
+
+func TestTiledPOPTSwitchesTiles(t *testing.T) {
+	g := graph.Uniform(4096, 32768, 9)
+	seg := graph.Segment(g, 4)
+	sp := mem.NewSpace()
+	irr := sp.AllocBytes("contrib", 4096, 4, true)
+	tp := NewTiledPOPT(seg, irr, InterIntra, 8)
+	tp.Bind(cache.Geometry{Sets: 4, Ways: 4})
+
+	// Reserved ways must reflect the max single tile, which is smaller
+	// than the whole-graph reservation.
+	whole := BuildPOPT(&g.Out, 4096, InterIntra, 8, irr)
+	if tp.ReservedWays(16) > whole.ReservedWays(16) {
+		t.Errorf("tiled reservation %d exceeds untiled %d", tp.ReservedWays(16), whole.ReservedWays(16))
+	}
+
+	// Lines outside the active tile's range count as streaming (dead) and
+	// evict first.
+	tp.SetTile(0)
+	tp.UpdateIndex(0)
+	lo3 := int(seg.Tiles[3].SrcLo)
+	lines := []cache.Line{
+		{Valid: true, Addr: irr.Addr(lo3)}, // belongs to tile 3, dead now
+		{Valid: true, Addr: irr.Addr(0)},
+		{Valid: true, Addr: irr.Addr(16)},
+		{Valid: true, Addr: irr.Addr(32)},
+	}
+	if v := tp.Victim(0, lines, mem.Access{Addr: irr.Addr(48)}); v != 0 {
+		t.Errorf("victim = %d, want the out-of-tile way 0", v)
+	}
+}
+
+func TestSubAdjSharesNeighborStorage(t *testing.T) {
+	g := graph.Uniform(1024, 8192, 4)
+	sub := SubAdj(&g.Out, 256, 512)
+	if sub.N() != 256 {
+		t.Fatalf("sub vertices = %d, want 256", sub.N())
+	}
+	for v := graph.V(0); v < 256; v++ {
+		want := g.Out.Neighs(v + 256)
+		got := sub.Neighs(v)
+		if len(want) != len(got) {
+			t.Fatalf("vertex %d: %d neighbors, want %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("vertex %d neighbor %d mismatch", v, i)
+			}
+		}
+	}
+}
+
+func TestSubArrayGeometry(t *testing.T) {
+	sp := mem.NewSpace()
+	a := sp.AllocBytes("x", 1024, 4, true)
+	s := SubArray(a, 256, 768)
+	if s.Base != a.Addr(256) || s.Len != 512 {
+		t.Fatalf("SubArray = base %#x len %d", s.Base, s.Len)
+	}
+	if !s.Contains(a.Addr(700)) || s.Contains(a.Addr(100)) || s.Contains(a.Addr(800)) {
+		t.Error("SubArray Contains is wrong")
+	}
+}
+
+func TestTOPTTieCounting(t *testing.T) {
+	// Two vertices with identical next references tie; the counter must
+	// move and the result must be a legal way.
+	edges := []graph.Edge{{Src: 0, Dst: 3}, {Src: 1, Dst: 3}}
+	g := graph.FromEdges("tie", 4, edges)
+	sp := mem.NewSpace()
+	src := sp.AllocBytes("srcData", 4, 64, true)
+	p := BuildTOPT(&g.Out, src)
+	p.Bind(cache.Geometry{Sets: 1, Ways: 2})
+	p.UpdateIndex(0)
+	lines := []cache.Line{lineFor(src, 0), lineFor(src, 1)}
+	v := p.Victim(0, lines, mem.Access{Addr: src.Addr(2)})
+	if v != 0 && v != 1 {
+		t.Fatalf("invalid victim %d", v)
+	}
+	if p.Ties != 1 {
+		t.Errorf("Ties = %d, want 1", p.Ties)
+	}
+}

@@ -1,0 +1,293 @@
+// Package core implements the paper's contribution: transpose-based
+// optimal cache replacement (T-OPT) and its practical architecture P-OPT,
+// built around the quantized Rereference Matrix (Sections III-V).
+//
+// Both policies plug into the internal/cache Policy interface and manage
+// the irregularly accessed arrays of a graph kernel (srcData/dstData and
+// frontiers). T-OPT consults the graph's transpose directly and is the
+// idealized, zero-overhead upper bound; P-OPT consults the Rereference
+// Matrix, pays for it with reserved LLC ways and epoch-boundary column
+// streaming, and approaches T-OPT closely (Fig. 7, 10).
+package core
+
+import (
+	"fmt"
+
+	"popt/internal/graph"
+)
+
+// Kind selects the Rereference Matrix entry encoding.
+type Kind int
+
+const (
+	// InterOnly entries store only the distance (in epochs) to the epoch
+	// of the line's next reference (Fig. 5). Cheap but lossy: after the
+	// final access within an epoch the entry still reads 0.
+	InterOnly Kind = iota
+	// InterIntra is the paper's default (Fig. 6): the MSB selects between
+	// inter-epoch distance and the intra-epoch sub-epoch of the line's
+	// final access, eliminating most quantization loss at the cost of one
+	// bit of distance range.
+	InterIntra
+	// SingleEpoch is P-OPT-SE (Section VII-B): only the current epoch's
+	// column is kept resident; a second reserved bit records whether the
+	// line is referenced in the next epoch. Halves the metadata footprint
+	// and the tracked distance range again.
+	SingleEpoch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case InterOnly:
+		return "inter-only"
+	case InterIntra:
+		return "inter+intra"
+	default:
+		return "single-epoch"
+	}
+}
+
+// Matrix is a quantized encoding of a graph transpose's next-reference
+// information for one irregularly accessed array: one row per cache line
+// of the array, one column per epoch of the outer traversal loop.
+type Matrix struct {
+	Kind Kind
+	// Bits is the entry width (4, 8 or 16; the paper's default is 8).
+	Bits uint
+	// NumLines is the number of cache lines spanned by the array.
+	NumLines int
+	// ElemsPerLine is how many vertices share one cache line of the array.
+	ElemsPerLine int
+	// NumEpochs, EpochSize: the outer loop's vertex range is cut into
+	// NumEpochs epochs of EpochSize vertices (last one ragged).
+	NumEpochs int
+	EpochSize int
+	// SubEpochs, SubEpochSize: within an epoch, intra encodings quantize
+	// the final access into SubEpochs partitions.
+	SubEpochs    int
+	SubEpochSize int
+	// entries is row-major: entries[line*NumEpochs+epoch].
+	entries []uint16
+}
+
+// distBits returns the width of the distance field for the encoding.
+func (k Kind) distBits(bits uint) uint {
+	switch k {
+	case InterOnly:
+		return bits
+	case InterIntra:
+		return bits - 1
+	default: // SingleEpoch reserves MSB (intra flag) and next-epoch bit
+		return bits - 2
+	}
+}
+
+// MaxDist returns the saturating/sentinel distance value: entries at
+// MaxDist mean "next reference at least this many epochs away (possibly
+// never)".
+func (m *Matrix) MaxDist() int { return 1<<m.Kind.distBits(m.Bits) - 1 }
+
+// BuildMatrix constructs the Rereference Matrix for an irregular array
+// whose element for vertex v is referenced once per occurrence of v in the
+// inner loop of a traversal, i.e. at every outer-loop vertex in refAdj's
+// neighbor list of v. For a pull kernel refAdj is the graph's out-adjacency
+// (the transpose of the traversed CSC); for push it is the in-adjacency.
+//
+// numVertices is the outer loop trip count, elemsPerLine how many vertices
+// share a line of the array (16 for 4 B data, 8 for 8 B, 512 for bit
+// frontiers). This is the preprocessing step Table IV measures.
+func BuildMatrix(refAdj *graph.Adj, numVertices, elemsPerLine int, kind Kind, bits uint) *Matrix {
+	if bits < 4 || bits > 16 {
+		panic(fmt.Sprintf("core: unsupported quantization width %d", bits))
+	}
+	if kind == SingleEpoch && bits < 5 {
+		panic("core: single-epoch encoding needs at least 5 bits")
+	}
+	m := &Matrix{Kind: kind, Bits: bits, ElemsPerLine: elemsPerLine}
+	// The number of epochs is bounded by the representable ID range
+	// (2^bits; the paper's 8-bit default gives 256 epochs with
+	// EpochSize = ceil(numVertices/256)) and by the vertex count itself.
+	quantEpochs := 1 << bits
+	if quantEpochs > numVertices {
+		quantEpochs = numVertices
+	}
+	if quantEpochs < 1 {
+		quantEpochs = 1
+	}
+	m.EpochSize = (numVertices + quantEpochs - 1) / quantEpochs
+	m.NumEpochs = (numVertices + m.EpochSize - 1) / m.EpochSize
+	m.SubEpochs = 1<<kind.distBits(bits) - 1
+	if m.SubEpochs < 1 {
+		m.SubEpochs = 1
+	}
+	m.SubEpochSize = (m.EpochSize + m.SubEpochs - 1) / m.SubEpochs
+	m.NumLines = (refAdj.N() + elemsPerLine - 1) / elemsPerLine
+	m.entries = make([]uint16, m.NumLines*m.NumEpochs)
+	fillEntries(m, refAdj, numVertices)
+	return m
+}
+
+// fillEntries populates a Matrix whose geometry fields are already set.
+func fillEntries(m *Matrix, refAdj *graph.Adj, numVertices int) {
+	kind, bits, elemsPerLine := m.Kind, m.Bits, m.ElemsPerLine
+	maxDist := uint16(m.MaxDist())
+	msbMask := uint16(1) << (bits - 1)
+	nextBitMask := uint16(0)
+	if kind == SingleEpoch {
+		nextBitMask = 1 << (bits - 2)
+	}
+
+	// Scratch per line, reused across lines.
+	hasRef := make([]bool, m.NumEpochs)
+	lastSub := make([]uint16, m.NumEpochs)
+	n := refAdj.N()
+	for line := 0; line < m.NumLines; line++ {
+		for e := range hasRef {
+			hasRef[e] = false
+			lastSub[e] = 0
+		}
+		lo := line * elemsPerLine
+		hi := lo + elemsPerLine
+		if hi > n {
+			hi = n
+		}
+		// A line is next referenced at the earliest outer-loop position
+		// among its vertices; for epoch bookkeeping we need, per epoch,
+		// whether any reference lands there and the sub-epoch of the LAST
+		// reference in that epoch.
+		for v := lo; v < hi; v++ {
+			for _, d := range refAdj.Neighs(graph.V(v)) {
+				if int(d) >= numVertices {
+					continue // outer loop never reaches it
+				}
+				e := int(d) / m.EpochSize
+				sub := (int(d) - e*m.EpochSize) / m.SubEpochSize
+				if sub >= m.SubEpochs {
+					sub = m.SubEpochs - 1
+				}
+				if !hasRef[e] || uint16(sub) > lastSub[e] {
+					lastSub[e] = uint16(sub)
+				}
+				hasRef[e] = true
+			}
+		}
+		// Walk epochs backward, tracking the next referencing epoch.
+		next := -1 // -1 = no further reference
+		row := m.entries[line*m.NumEpochs : (line+1)*m.NumEpochs]
+		for e := m.NumEpochs - 1; e >= 0; e-- {
+			dist := int(maxDist)
+			if hasRef[e] {
+				dist = 0
+			} else if next >= 0 {
+				if d := next - e; d < dist {
+					dist = d
+				}
+			}
+			switch kind {
+			case InterOnly:
+				row[e] = uint16(dist)
+			case InterIntra:
+				if hasRef[e] {
+					row[e] = lastSub[e] // MSB 0: intra info
+				} else {
+					row[e] = msbMask | uint16(dist)
+				}
+			case SingleEpoch:
+				if hasRef[e] {
+					row[e] = lastSub[e]
+					if e+1 < m.NumEpochs && hasRef[e+1] {
+						row[e] |= nextBitMask
+					}
+				} else {
+					row[e] = msbMask | uint16(dist)
+				}
+			}
+			if hasRef[e] {
+				next = e
+			}
+		}
+	}
+}
+
+// Entry exposes the raw encoded entry for tests and diagnostics.
+func (m *Matrix) Entry(line, epoch int) uint16 { return m.entries[line*m.NumEpochs+epoch] }
+
+// EpochOf maps an outer-loop vertex to its epoch.
+func (m *Matrix) EpochOf(v graph.V) int {
+	e := int(v) / m.EpochSize
+	if e >= m.NumEpochs {
+		e = m.NumEpochs - 1
+	}
+	return e
+}
+
+// NextRef implements Algorithm 2: given a cache line of the array and the
+// outer-loop vertex currently being processed, return the distance (in
+// epochs) to the line's next reference. 0 means "again within this epoch";
+// MaxDist()+1 saturates "no known future use".
+func (m *Matrix) NextRef(line int, cur graph.V) int {
+	e := m.EpochOf(cur)
+	curr := m.entries[line*m.NumEpochs+e]
+	msbMask := uint16(1) << (m.Bits - 1)
+	lowMask := msbMask - 1
+
+	if m.Kind == InterOnly {
+		// No intra-epoch information: the entry is the distance, reading 0
+		// for the whole epoch even after the line's final access.
+		return int(curr)
+	}
+
+	if curr&msbMask != 0 {
+		// Not referenced this epoch; low bits are the distance.
+		return int(curr & lowMask)
+	}
+	// Referenced this epoch: have we passed its final access?
+	var lastSub int
+	if m.Kind == SingleEpoch {
+		lastSub = int(curr & (1<<(m.Bits-2) - 1))
+	} else {
+		lastSub = int(curr & lowMask)
+	}
+	epochStart := e * m.EpochSize
+	currSub := (int(cur) - epochStart) / m.SubEpochSize
+	if currSub <= lastSub {
+		return 0
+	}
+	// Past the final access: consult next-epoch information.
+	if m.Kind == SingleEpoch {
+		// Only one bit of lookahead survives the footprint reduction.
+		if curr&(1<<(m.Bits-2)) != 0 {
+			return 1
+		}
+		// Beyond the next epoch the distance is unknown; report the
+		// coarsest non-adjacent guess. This is P-OPT-SE's quality loss.
+		return 2
+	}
+	if e+1 >= m.NumEpochs {
+		return m.MaxDist() + 1
+	}
+	next := m.entries[line*m.NumEpochs+e+1]
+	if next&msbMask != 0 {
+		return 1 + int(next&lowMask)
+	}
+	return 1
+}
+
+// ColumnBytes returns the storage of one epoch column, the unit streamed
+// into the LLC at epoch boundaries.
+func (m *Matrix) ColumnBytes() int { return (m.NumLines*int(m.Bits) + 7) / 8 }
+
+// ResidentColumns returns how many columns P-OPT pins in the LLC for this
+// encoding: current+next normally, current only for single-epoch.
+func (m *Matrix) ResidentColumns() int {
+	if m.Kind == SingleEpoch {
+		return 1
+	}
+	return 2
+}
+
+// ResidentBytes returns the LLC footprint of the pinned columns.
+func (m *Matrix) ResidentBytes() int { return m.ResidentColumns() * m.ColumnBytes() }
+
+// TotalBytes returns the full Rereference Matrix size in memory.
+func (m *Matrix) TotalBytes() int { return (len(m.entries)*int(m.Bits) + 7) / 8 }

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"popt/internal/cache"
+	"popt/internal/graph"
+	"popt/internal/mem"
+)
+
+// infDist marks "no future reference" in victim scans.
+const infDist = math.MaxInt64
+
+// OracleStream describes one irregularly accessed array to T-OPT: the
+// array's address range plus the adjacency that encodes its references.
+// For a pull kernel over the CSC, Ref is the graph's out-adjacency (its
+// transpose); for push over the CSR, Ref is the in-adjacency.
+type OracleStream struct {
+	Arr *mem.Array
+	Ref *graph.Adj
+
+	// lineOA/lineRefs is a per-cache-line merge of the vertices' sorted
+	// reference lists, so a next-reference query is one binary search
+	// instead of a scan per vertex. This is a simulator-speed
+	// optimization only: hardware T-OPT would scan the transpose, and the
+	// paper charges it nothing either way (T-OPT is the idealized bound).
+	lineOA   []uint64
+	lineRefs []graph.V
+}
+
+// buildLineRefs merges the sorted out-neighbor lists of the vertices
+// sharing each cache line into one sorted list per line.
+func (s *OracleStream) buildLineRefs() {
+	epl := s.Arr.ElemsPerLine()
+	n := s.Ref.N()
+	numLines := (n + epl - 1) / epl
+	s.lineOA = make([]uint64, numLines+1)
+	total := uint64(0)
+	for l := 0; l < numLines; l++ {
+		s.lineOA[l] = total
+		lo, hi := l*epl, (l+1)*epl
+		if hi > n {
+			hi = n
+		}
+		for v := lo; v < hi; v++ {
+			total += uint64(s.Ref.Degree(graph.V(v)))
+		}
+	}
+	s.lineOA[numLines] = total
+	s.lineRefs = make([]graph.V, total)
+	for l := 0; l < numLines; l++ {
+		w := s.lineOA[l]
+		lo, hi := l*epl, (l+1)*epl
+		if hi > n {
+			hi = n
+		}
+		for v := lo; v < hi; v++ {
+			w += uint64(copy(s.lineRefs[w:], s.Ref.Neighs(graph.V(v))))
+		}
+		seg := s.lineRefs[s.lineOA[l]:w]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+	}
+}
+
+// next returns the smallest reference position of line l strictly greater
+// than cur, or ok=false.
+func (s *OracleStream) next(l int, cur graph.V) (graph.V, bool) {
+	seg := s.lineRefs[s.lineOA[l]:s.lineOA[l+1]]
+	i := sort.Search(len(seg), func(i int) bool { return seg[i] > cur })
+	if i == len(seg) {
+		return 0, false
+	}
+	return seg[i], true
+}
+
+// TOPT is transpose-based optimal replacement (Section III): at eviction
+// time it scans the transpose neighbor lists of every vertex in each
+// candidate line to find exact next references, evicting the line used
+// furthest in the future. It is idealized — the simulator charges nothing
+// for the transpose lookups — so it upper-bounds P-OPT (Fig. 4, 7, 10).
+type TOPT struct {
+	g       cache.Geometry
+	streams []OracleStream
+	cur     graph.V
+	tie     *cache.DRRIP
+	// Ties counts victim selections where multiple lines shared the
+	// maximal next reference and the tie-breaker decided.
+	Ties uint64
+}
+
+// NewTOPT builds a T-OPT policy over the given irregular streams.
+func NewTOPT(streams ...OracleStream) *TOPT {
+	p := &TOPT{streams: streams, tie: cache.NewDRRIP(1)}
+	for i := range p.streams {
+		p.streams[i].buildLineRefs()
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *TOPT) Name() string { return "T-OPT" }
+
+// Bind implements cache.Policy.
+func (p *TOPT) Bind(g cache.Geometry) {
+	p.g = g
+	p.tie.Bind(g)
+}
+
+// UpdateIndex models the paper's update_index instruction: the kernel
+// reports the outer-loop vertex it is currently processing.
+func (p *TOPT) UpdateIndex(v graph.V) { p.cur = v }
+
+// OnHit implements cache.Policy (tie-breaker state piggybacks on DRRIP).
+func (p *TOPT) OnHit(set, way int, acc mem.Access) { p.tie.OnHit(set, way, acc) }
+
+// OnFill implements cache.Policy.
+func (p *TOPT) OnFill(set, way int, acc mem.Access) { p.tie.OnFill(set, way, acc) }
+
+// OnEvict implements cache.Policy.
+func (p *TOPT) OnEvict(set, way int) { p.tie.OnEvict(set, way) }
+
+// stream returns the irregular stream containing addr, or nil (streaming
+// data), i.e. the irreg_base/irreg_bound register comparison.
+func (p *TOPT) stream(addr uint64) *OracleStream {
+	for i := range p.streams {
+		if p.streams[i].Arr.Contains(addr) {
+			return &p.streams[i]
+		}
+	}
+	return nil
+}
+
+// nextRef returns the exact distance (in outer-loop vertices) to the next
+// reference of the line at addr within s, or infDist.
+func (p *TOPT) nextRef(s *OracleStream, addr uint64) int64 {
+	if next, ok := s.next(s.Arr.LineID(addr), p.cur); ok {
+		return int64(next) - int64(p.cur)
+	}
+	return infDist
+}
+
+// Victim implements cache.Policy following Section V-C's candidate search:
+// prefer any way holding streaming (non-irregular) data; otherwise evict
+// the irregular line referenced furthest in the future, breaking ties with
+// DRRIP.
+func (p *TOPT) Victim(set int, lines []cache.Line, acc mem.Access) int {
+	best, bestDist, tied := -1, int64(-1), false
+	for w := p.g.ReservedWays; w < p.g.Ways; w++ {
+		s := p.stream(lines[w].Addr)
+		if s == nil {
+			return w // streaming data has re-reference distance infinity
+		}
+		d := p.nextRef(s, lines[w].Addr)
+		switch {
+		case d > bestDist:
+			best, bestDist, tied = w, d, false
+		case d == bestDist:
+			tied = true
+			if p.tie.RRPV(set, w) > p.tie.RRPV(set, best) {
+				best = w
+			}
+		}
+	}
+	if tied {
+		p.Ties++
+	}
+	return best
+}

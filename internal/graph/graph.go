@@ -1,0 +1,226 @@
+// Package graph provides the compressed sparse graph representations,
+// builders, generators, reorderings, and tilings used throughout the P-OPT
+// reproduction.
+//
+// A Graph stores both traversal directions of its adjacency matrix: the
+// Compressed Sparse Row (CSR) encodes outgoing neighbors of each source
+// vertex and the Compressed Sparse Column (CSC) encodes incoming neighbors
+// of each destination vertex. Keeping both is the norm in graph frameworks
+// (GAP, Ligra) and is the property that T-OPT/P-OPT exploit: the transpose
+// of the traversal direction encodes every vertex's next reference.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// V is the vertex identifier type. Real-world frameworks use 32-bit IDs; so
+// does the paper (the full vertex-ID space that P-OPT quantizes is 32 bits).
+type V = uint32
+
+// Adj is one traversal direction of the adjacency matrix in compressed
+// sparse form. OA (Offsets Array) has length N+1; the neighbors of vertex v
+// occupy NA[OA[v]:OA[v+1]] and are sorted in ascending order. Sorted
+// neighbor lists are what make transpose-based next-reference lookups a
+// binary search instead of a scan.
+type Adj struct {
+	OA []uint64
+	NA []V
+}
+
+// N returns the number of vertices.
+func (a *Adj) N() int { return len(a.OA) - 1 }
+
+// M returns the number of directed edges.
+func (a *Adj) M() int { return len(a.NA) }
+
+// Degree returns the number of neighbors of v.
+func (a *Adj) Degree(v V) int { return int(a.OA[v+1] - a.OA[v]) }
+
+// Neighs returns the (sorted) neighbor slice of v. The slice aliases the
+// underlying NA storage and must not be modified.
+func (a *Adj) Neighs(v V) []V { return a.NA[a.OA[v]:a.OA[v+1]] }
+
+// NextAfter returns the smallest neighbor of v that is strictly greater
+// than cur, and ok=false if no such neighbor exists. In a pull execution
+// that is the outer-loop iteration at which srcData[v] is next referenced;
+// it is the primitive on which T-OPT is built.
+func (a *Adj) NextAfter(v V, cur V) (next V, ok bool) {
+	ns := a.Neighs(v)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] > cur })
+	if i == len(ns) {
+		return 0, false
+	}
+	return ns[i], true
+}
+
+// Graph is an immutable directed graph stored in both traversal directions.
+type Graph struct {
+	// Out is the CSR: Out.Neighs(s) are the destinations of edges leaving s.
+	Out Adj
+	// In is the CSC: In.Neighs(d) are the sources of edges entering d.
+	In Adj
+	// Name labels the graph in reports ("KRON-20", "URAND-18", ...).
+	Name string
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.Out.N() }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return g.Out.M() }
+
+// AvgDegree returns the mean out-degree.
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(n)
+}
+
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s{n=%d m=%d avgDeg=%.1f}", g.Name, g.NumVertices(), g.NumEdges(), g.AvgDegree())
+}
+
+// Edge is a directed edge used by builders and generators.
+type Edge struct {
+	Src, Dst V
+}
+
+// FromEdges builds a Graph (both CSR and CSC) from a directed edge list.
+// Self-loops are kept, duplicate edges are removed, and neighbor lists come
+// out sorted. n is the number of vertices; every endpoint must be < n.
+func FromEdges(name string, n int, edges []Edge) *Graph {
+	out := adjFromEdges(n, edges, false)
+	in := adjFromEdges(n, edges, true)
+	return &Graph{Out: out, In: in, Name: name}
+}
+
+// adjFromEdges builds one direction via counting sort, then sorts and
+// deduplicates each neighbor list in place.
+func adjFromEdges(n int, edges []Edge, transpose bool) Adj {
+	counts := make([]uint64, n+1)
+	for _, e := range edges {
+		k := e.Src
+		if transpose {
+			k = e.Dst
+		}
+		counts[k+1]++
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	oa := counts // counts is now the offsets array
+	na := make([]V, len(edges))
+	cursor := make([]uint64, n)
+	for _, e := range edges {
+		k, v := e.Src, e.Dst
+		if transpose {
+			k, v = e.Dst, e.Src
+		}
+		na[oa[k]+cursor[k]] = v
+		cursor[k]++
+	}
+	// Sort and dedup each list, compacting NA.
+	w := uint64(0)
+	newOA := make([]uint64, n+1)
+	for v := 0; v < n; v++ {
+		lo, hi := oa[v], oa[v+1]
+		seg := na[lo:hi]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		newOA[v] = w
+		for i, u := range seg {
+			if i > 0 && u == seg[i-1] {
+				continue
+			}
+			na[w] = u
+			w++
+		}
+	}
+	newOA[n] = w
+	return Adj{OA: newOA, NA: na[:w:w]}
+}
+
+// Transpose returns a graph with Out and In swapped (edges reversed). The
+// underlying arrays are shared, not copied.
+func (g *Graph) Transpose() *Graph {
+	return &Graph{Out: g.In, In: g.Out, Name: g.Name + "-T"}
+}
+
+// MaxDegree returns the maximum out-degree and the vertex attaining it.
+func (g *Graph) MaxDegree() (deg int, at V) {
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Out.Degree(V(v)); d > deg {
+			deg, at = d, V(v)
+		}
+	}
+	return deg, at
+}
+
+// DegreeHistogram returns counts of out-degrees bucketed by powers of two:
+// bucket i counts vertices with degree in [2^i, 2^(i+1)). Bucket 0 also
+// includes degree-0 vertices.
+func (g *Graph) DegreeHistogram() []int {
+	var hist []int
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.Out.Degree(V(v))
+		b := 0
+		for x := d; x > 1; x >>= 1 {
+			b++
+		}
+		for len(hist) <= b {
+			hist = append(hist, 0)
+		}
+		hist[b]++
+	}
+	return hist
+}
+
+// Validate checks structural invariants (monotone offsets, sorted unique
+// neighbor lists, in/out edge counts matching, endpoints in range) and
+// returns a descriptive error on the first violation. It exists for tests
+// and for validating externally loaded graphs.
+func (g *Graph) Validate() error {
+	if g.Out.N() != g.In.N() {
+		return fmt.Errorf("graph %s: out has %d vertices, in has %d", g.Name, g.Out.N(), g.In.N())
+	}
+	if g.Out.M() != g.In.M() {
+		return fmt.Errorf("graph %s: out has %d edges, in has %d", g.Name, g.Out.M(), g.In.M())
+	}
+	for dir, a := range map[string]*Adj{"out": &g.Out, "in": &g.In} {
+		n := a.N()
+		if a.OA[0] != 0 || a.OA[n] != uint64(len(a.NA)) {
+			return fmt.Errorf("graph %s %s: offsets must span [0,%d], got [%d,%d]", g.Name, dir, len(a.NA), a.OA[0], a.OA[n])
+		}
+		for v := 0; v < n; v++ {
+			if a.OA[v] > a.OA[v+1] {
+				return fmt.Errorf("graph %s %s: offsets not monotone at vertex %d", g.Name, dir, v)
+			}
+			ns := a.Neighs(V(v))
+			for i, u := range ns {
+				if int(u) >= n {
+					return fmt.Errorf("graph %s %s: vertex %d has out-of-range neighbor %d", g.Name, dir, v, u)
+				}
+				if i > 0 && ns[i-1] >= u {
+					return fmt.Errorf("graph %s %s: neighbors of %d not sorted/unique at %d", g.Name, dir, v, i)
+				}
+			}
+		}
+	}
+	// Every out-edge must appear as an in-edge and vice versa.
+	for v := 0; v < g.Out.N(); v++ {
+		for _, u := range g.Out.Neighs(V(v)) {
+			if !contains(g.In.Neighs(u), V(v)) {
+				return fmt.Errorf("graph %s: edge %d->%d missing from CSC", g.Name, v, u)
+			}
+		}
+	}
+	return nil
+}
+
+func contains(sorted []V, x V) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= x })
+	return i < len(sorted) && sorted[i] == x
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Serialization uses a small binary container (magic "POPTG1") holding the
+// name and both adjacency directions, so generated suites can be saved by
+// cmd/graphgen and reloaded by the benchmark harness without regeneration.
+
+const magic = "POPTG1"
+
+// Write serializes g to w.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := writeString(bw, g.Name); err != nil {
+		return err
+	}
+	for _, a := range []*Adj{&g.Out, &g.In} {
+		if err := writeAdj(bw, a); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a graph written by Write.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("graph: bad magic %q", head)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{Name: name}
+	for _, a := range []*Adj{&g.Out, &g.In} {
+		if err := readAdj(br, a); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("graph: unreasonable string length %d", n)
+	}
+	var sb strings.Builder
+	if _, err := io.CopyN(&sb, r, int64(n)); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func writeAdj(w io.Writer, a *Adj) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(a.OA))); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, a.OA); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(a.NA))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, a.NA)
+}
+
+func readAdj(r io.Reader, a *Adj) error {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	a.OA = make([]uint64, n)
+	if err := binary.Read(r, binary.LittleEndian, a.OA); err != nil {
+		return err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	a.NA = make([]V, n)
+	return binary.Read(r, binary.LittleEndian, a.NA)
+}
+
+// ParseEdgeList parses a whitespace-separated "src dst" edge list (one edge
+// per line, '#' comments allowed) with n vertices, for loading external
+// graphs through cmd/graphgen.
+func ParseEdgeList(r io.Reader, name string, n int) (*Graph, error) {
+	var edges []Edge
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var s, d int
+		if _, err := fmt.Sscan(line, &s, &d); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		if s < 0 || d < 0 || s >= n || d >= n {
+			return nil, fmt.Errorf("graph: line %d: endpoint out of range [0,%d)", lineNo, n)
+		}
+		edges = append(edges, Edge{V(s), V(d)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromEdges(name, n, edges), nil
+}

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// MatrixMarket support: real-world graph suites (SuiteSparse, LAW) ship as
+// .mtx coordinate files; ParseMatrixMarket loads the "coordinate" variants
+// (pattern/integer/real values are accepted and ignored — only structure
+// matters for cache studies). Symmetric matrices are expanded to both
+// directions. Indices are 1-based per the format.
+
+// ParseMatrixMarket reads a MatrixMarket coordinate file into a Graph.
+func ParseMatrixMarket(r io.Reader, name string) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	// Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mtx: empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("mtx: bad header %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("mtx: only coordinate format is supported, got %q", header[2])
+	}
+	symmetric := header[4] == "symmetric" || header[4] == "skew-symmetric"
+
+	// Skip comments; then the size line: rows cols entries.
+	var rows, cols, entries int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &entries); err != nil {
+			return nil, fmt.Errorf("mtx: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("mtx: bad dimensions %dx%d", rows, cols)
+	}
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	edges := make([]Edge, 0, entries*2)
+	read := 0
+	for sc.Scan() && read < entries {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		var i, j int
+		// Values after the indices (real/integer fields) are ignored.
+		if _, err := fmt.Sscan(line, &i, &j); err != nil {
+			return nil, fmt.Errorf("mtx: bad entry %q: %w", line, err)
+		}
+		if i < 1 || j < 1 || i > n || j > n {
+			return nil, fmt.Errorf("mtx: entry (%d,%d) out of range for %d vertices", i, j, n)
+		}
+		read++
+		edges = append(edges, Edge{V(i - 1), V(j - 1)})
+		if symmetric && i != j {
+			edges = append(edges, Edge{V(j - 1), V(i - 1)})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read < entries {
+		return nil, fmt.Errorf("mtx: expected %d entries, found %d", entries, read)
+	}
+	return FromEdges(name, n, edges), nil
+}
+
+// WriteMatrixMarket writes g as a general coordinate pattern matrix.
+func WriteMatrixMarket(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate pattern general")
+	fmt.Fprintf(bw, "%% graph %s\n", g.Name)
+	fmt.Fprintf(bw, "%d %d %d\n", g.NumVertices(), g.NumVertices(), g.NumEdges())
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Out.Neighs(V(u)) {
+			fmt.Fprintf(bw, "%d %d\n", u+1, v+1)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,131 @@
+package kernels
+
+import (
+	"fmt"
+
+	"popt/internal/graph"
+	"popt/internal/mem"
+)
+
+// bfsMaxRounds caps simulated BFS levels (iteration sampling).
+const bfsMaxRounds = 10
+
+// noParent marks unreached vertices.
+const noParent = ^graph.V(0)
+
+// NewBFS builds a direction-optimizing BFS workload (Beamer et al., the
+// optimization the paper cites as motivating CSR+CSC storage). It is not
+// part of the paper's Table II but belongs in any release of the
+// simulator: BFS's bottom-up (pull) levels read parent/frontier state of
+// incoming neighbors — exactly the irregular pattern P-OPT manages.
+// Irregular streams: the 4 B parent array and the 1-bit frontier.
+// Sparse (top-down) levels run muted, like the other frontier kernels.
+func NewBFS(g *graph.Graph) *Workload {
+	n := g.NumVertices()
+	sp := mem.NewSpace()
+	parentArr := sp.AllocBytes("parent", n, 4, true)
+	frontierArr := sp.Alloc("frontier", n, 1, true)
+	oaArr := sp.AllocBytes("cscOA", n+1, 8, false)
+	naArr := sp.AllocBytes("cscNA", g.NumEdges(), 4, false)
+
+	parent := make([]graph.V, n)
+	depth := make([]int32, n)
+	frontier := make([]bool, n)
+	nextFrontier := make([]bool, n)
+	rounds := 0
+	source := graph.V(0)
+
+	w := &Workload{
+		Name: "BFS", G: g, Space: sp,
+		Irregular:    []*mem.Array{parentArr, frontierArr},
+		RefAdj:       &g.Out,
+		Pull:         true,
+		UsesFrontier: true,
+	}
+	w.run = func(r *Runner) {
+		for v := 0; v < n; v++ {
+			parent[v] = noParent
+			depth[v] = -1
+			frontier[v] = false
+		}
+		parent[source] = source
+		depth[source] = 0
+		frontier[source] = true
+		r.Store(parentArr, int(source), PCStreamWrite)
+		for round := 1; round <= bfsMaxRounds; round++ {
+			rounds = round
+			any := false
+			// Bottom-up (pull) only pays off on dense frontiers; sparse
+			// levels are top-down pushes, not simulated in detail.
+			r.SetMuted(EdgeDensity(frontier, &g.Out) < PullDensityThreshold)
+			r.StartIteration()
+			for dst := 0; dst < n; dst++ {
+				r.SetVertex(graph.V(dst))
+				nextFrontier[dst] = false
+				if parent[dst] != noParent {
+					continue
+				}
+				r.Load(oaArr, dst, PCOffsets)
+				lo, hi := g.In.OA[dst], g.In.OA[dst+1]
+				for e := lo; e < hi; e++ {
+					r.Load(naArr, int(e), PCNeighbors)
+					src := g.In.NA[e]
+					r.Load(frontierArr, int(src), PCFrontierRead)
+					r.Tick(1)
+					if frontier[src] {
+						r.Load(parentArr, int(src), PCIrregRead)
+						parent[dst] = src
+						depth[dst] = int32(round)
+						nextFrontier[dst] = true
+						any = true
+						r.Store(parentArr, dst, PCIrregWrite)
+						break // bottom-up stops at the first found parent
+					}
+				}
+				r.Store(frontierArr, dst, PCFrontierWrite)
+				r.Tick(2)
+			}
+			frontier, nextFrontier = nextFrontier, frontier
+			if !any {
+				break
+			}
+		}
+		r.SetMuted(false)
+	}
+	w.check = func() error {
+		dist := bfsForward(g, source, rounds)
+		for v := 0; v < n; v++ {
+			switch {
+			case parent[v] == noParent:
+				if dist[v] >= 0 && dist[v] < rounds {
+					return fmt.Errorf("BFS: vertex %d reachable at depth %d but unreached", v, dist[v])
+				}
+			case graph.V(v) == source:
+				if parent[v] != source || depth[v] != 0 {
+					return fmt.Errorf("BFS: source state corrupted")
+				}
+			default:
+				if int32(dist[v]) != depth[v] {
+					return fmt.Errorf("BFS: depth[%d] = %d, golden %d", v, depth[v], dist[v])
+				}
+				p := parent[v]
+				if dist[p] != int(depth[v])-1 {
+					return fmt.Errorf("BFS: parent[%d]=%d is at depth %d, not %d", v, p, dist[p], depth[v]-1)
+				}
+				// parent must actually be an in-neighbor.
+				found := false
+				for _, u := range g.In.Neighs(graph.V(v)) {
+					if u == p {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("BFS: parent[%d]=%d is not an in-neighbor", v, p)
+				}
+			}
+		}
+		return nil
+	}
+	return w
+}

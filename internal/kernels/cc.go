@@ -1,0 +1,152 @@
+package kernels
+
+import (
+	"fmt"
+
+	"popt/internal/graph"
+	"popt/internal/mem"
+)
+
+// ccMaxIters caps Shiloach-Vishkin rounds; real graphs converge in a
+// handful (the paper samples iterations the same way for non-PR kernels).
+const ccMaxIters = 12
+
+// NewCC builds the Connected Components workload using the
+// Shiloach-Vishkin algorithm (GAP cc_sv.cc): alternating hooking passes
+// over the edges and pointer-jumping compression. The push traversal scans
+// each source's outgoing neighbors and updates comp entries of
+// destinations, so comp is the irregular array and the CSC (in-adjacency)
+// is the transpose that predicts next references (Table II: CC is
+// push-only, transpose = CSC).
+func NewCC(g *graph.Graph) *Workload {
+	n := g.NumVertices()
+	sp := mem.NewSpace()
+	compArr := sp.AllocBytes("comp", n, 4, true)
+	oaArr := sp.AllocBytes("csrOA", n+1, 8, false)
+	naArr := sp.AllocBytes("csrNA", g.NumEdges(), 4, false)
+
+	comp := make([]graph.V, n)
+
+	w := &Workload{
+		Name: "CC", G: g, Space: sp,
+		Irregular: []*mem.Array{compArr},
+		RefAdj:    &g.In,
+		Pull:      false,
+	}
+	w.run = func(r *Runner) {
+		for v := range comp {
+			comp[v] = graph.V(v)
+			r.Store(compArr, v, PCStreamWrite)
+		}
+		for it := 0; it < ccMaxIters; it++ {
+			change := false
+			// Hooking: push over out-edges.
+			r.StartIteration()
+			for u := 0; u < n; u++ {
+				r.SetVertex(graph.V(u))
+				r.Load(oaArr, u, PCOffsets)
+				r.Load(compArr, u, PCCompRead) // comp[u] reused across inner loop
+				cu := comp[u]
+				lo, hi := g.Out.OA[u], g.Out.OA[u+1]
+				for e := lo; e < hi; e++ {
+					r.Load(naArr, int(e), PCNeighbors)
+					v := g.Out.NA[e]
+					r.Load(compArr, int(v), PCIrregRead)
+					cv := comp[v]
+					switch {
+					case cu < cv && cv == comp[cv]:
+						r.Load(compArr, int(cv), PCCompRead)
+						comp[cv] = cu
+						r.Store(compArr, int(cv), PCIrregWrite)
+						change = true
+					case cv < cu && cu == comp[cu]:
+						r.Load(compArr, int(cu), PCCompRead)
+						comp[cu] = cv
+						r.Store(compArr, int(cu), PCIrregWrite)
+						change = true
+						cu = comp[u]
+					}
+					r.Tick(2)
+				}
+			}
+			// Compression: pointer jumping (streaming outer loop, irregular
+			// chase inside).
+			for v := 0; v < n; v++ {
+				for comp[v] != comp[comp[v]] {
+					r.Load(compArr, int(comp[v]), PCCompRead)
+					comp[v] = comp[comp[v]]
+					r.Store(compArr, v, PCCompWrite)
+				}
+				r.Tick(1)
+			}
+			if !change {
+				break
+			}
+		}
+	}
+	w.check = func() error {
+		golden := goldenComponents(g)
+		// comp must be a valid labeling consistent with golden: two
+		// vertices share a comp label iff they share a golden component,
+		// and every vertex's label lies in its own component.
+		seen := make(map[graph.V]int)
+		for v := 0; v < n; v++ {
+			if golden[comp[v]] != golden[v] {
+				return fmt.Errorf("CC: comp[%d]=%d crosses components", v, comp[v])
+			}
+			if prev, ok := seen[comp[v]]; ok {
+				if golden[prev] != golden[v] {
+					return fmt.Errorf("CC: label %d spans two golden components", comp[v])
+				}
+			} else {
+				seen[comp[v]] = v
+			}
+		}
+		// Converged labeling: one label per golden component.
+		labels := make(map[int]map[graph.V]bool)
+		for v := 0; v < n; v++ {
+			gc := golden[v]
+			if labels[gc] == nil {
+				labels[gc] = make(map[graph.V]bool)
+			}
+			labels[gc][comp[v]] = true
+		}
+		for gc, ls := range labels {
+			if len(ls) != 1 {
+				return fmt.Errorf("CC: golden component %d carries %d labels (not converged)", gc, len(ls))
+			}
+		}
+		return nil
+	}
+	return w
+}
+
+// goldenComponents computes weakly connected components by union-find.
+func goldenComponents(g *graph.Graph) []int {
+	n := g.NumVertices()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out.Neighs(graph.V(u)) {
+			ru, rv := find(u), find(int(v))
+			if ru != rv {
+				parent[ru] = rv
+			}
+		}
+	}
+	comp := make([]int, n)
+	for v := range comp {
+		comp[v] = find(v)
+	}
+	return comp
+}

@@ -1,0 +1,350 @@
+package kernels
+
+import (
+	"testing"
+
+	"popt/internal/cache"
+	"popt/internal/core"
+	"popt/internal/graph"
+	"popt/internal/mem"
+)
+
+// computeRunner returns a runner that performs no simulation (golden-path
+// compute only).
+func computeRunner() *Runner { return &Runner{} }
+
+// tinyGraphs returns a small diverse input suite for correctness tests.
+func tinyGraphs() []*graph.Graph {
+	return []*graph.Graph{
+		graph.Kron(9, 6, 1),
+		graph.Uniform(512, 4096, 2),
+		graph.Mesh(20, 22),
+		graph.PowerLaw(512, 6, 2.0, 3),
+		graph.Community(512, 8, 32, 0.8, 4),
+	}
+}
+
+func TestAllKernelsComputeCorrectResults(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for _, g := range tinyGraphs() {
+				w := b.New(g)
+				w.Run(computeRunner())
+				if err := w.Check(); err != nil {
+					t.Errorf("%s on %s: %v", b.Name, g.Name, err)
+				}
+			}
+		})
+	}
+}
+
+func TestWorkloadMetadataMatchesTableII(t *testing.T) {
+	g := graph.Uniform(512, 4096, 5)
+	type want struct {
+		irregular int
+		pull      bool
+		frontier  bool
+		elemBits  []uint64
+	}
+	wants := map[string]want{
+		"PR":       {1, true, false, []uint64{32}},
+		"CC":       {1, false, false, []uint64{32}},
+		"PR-Delta": {2, true, true, []uint64{64, 1}},
+		"Radii":    {2, true, true, []uint64{64, 1}},
+		"MIS":      {2, true, true, []uint64{32, 1}},
+	}
+	for _, b := range All() {
+		w := b.New(g)
+		exp := wants[w.Name]
+		if len(w.Irregular) != exp.irregular {
+			t.Errorf("%s: %d irregular arrays, want %d", w.Name, len(w.Irregular), exp.irregular)
+		}
+		if w.Pull != exp.pull || w.UsesFrontier != exp.frontier {
+			t.Errorf("%s: pull=%v frontier=%v, want %v/%v", w.Name, w.Pull, w.UsesFrontier, exp.pull, exp.frontier)
+		}
+		for i, a := range w.Irregular {
+			if a.ElemBits != exp.elemBits[i] {
+				t.Errorf("%s: irregular[%d] elem bits = %d, want %d", w.Name, i, a.ElemBits, exp.elemBits[i])
+			}
+		}
+		// Transpose direction: pull kernels predict with Out, push with In.
+		if w.Pull && w.RefAdj != &w.G.Out {
+			t.Errorf("%s: pull kernel must use out-adjacency as transpose", w.Name)
+		}
+		if !w.Pull && w.RefAdj != &w.G.In {
+			t.Errorf("%s: push kernel must use in-adjacency as transpose", w.Name)
+		}
+	}
+}
+
+// newTinyHierarchy builds a small hierarchy for integration tests.
+func newTinyHierarchy(llc func() cache.Policy) *cache.Hierarchy {
+	return cache.NewHierarchy(cache.Config{
+		L1Size: 1 << 10, L1Ways: 4,
+		L2Size: 4 << 10, L2Ways: 4,
+		LLCSize: 16 << 10, LLCWays: 16,
+		LLCPolicy: llc,
+	})
+}
+
+func TestKernelsDriveHierarchy(t *testing.T) {
+	g := graph.Uniform(2048, 16384, 7)
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			w := b.New(g)
+			h := newTinyHierarchy(func() cache.Policy { return cache.NewDRRIP(1) })
+			r := NewRunner(h, nil)
+			w.Run(r)
+			if err := w.Check(); err != nil {
+				t.Fatalf("results corrupted by instrumentation: %v", err)
+			}
+			if h.Instructions == 0 || h.L1.Stats.Accesses == 0 {
+				t.Fatal("kernel produced no memory trace")
+			}
+			if h.LLC.Stats.Accesses == 0 {
+				t.Fatal("no accesses reached the LLC; working set too small or bug")
+			}
+		})
+	}
+}
+
+// TestPOPTAndTOPTIntegration wires the paper's policies end to end and
+// checks (a) results stay correct, (b) T-OPT beats DRRIP on LLC misses for
+// PageRank, (c) P-OPT lands between DRRIP and T-OPT (allowing slack for
+// its reserved-way capacity loss).
+func TestPOPTAndTOPTIntegration(t *testing.T) {
+	g := graph.Uniform(4096, 32768, 11)
+
+	runWith := func(mk func(w *Workload) (cache.Policy, core.VertexIndexed, int)) (*cache.Hierarchy, *Workload) {
+		w := NewPageRank(g)
+		var pol cache.Policy
+		var hook core.VertexIndexed
+		reserve := 0
+		pol, hook, reserve = mk(w)
+		h := newTinyHierarchy(func() cache.Policy { return pol })
+		if reserve > 0 {
+			h.LLC.Reserve(reserve)
+		}
+		r := NewRunner(h, hook)
+		w.Run(r)
+		return h, w
+	}
+
+	hDRRIP, w1 := runWith(func(w *Workload) (cache.Policy, core.VertexIndexed, int) {
+		return cache.NewDRRIP(1), nil, 0
+	})
+	hTOPT, w2 := runWith(func(w *Workload) (cache.Policy, core.VertexIndexed, int) {
+		p := core.BuildTOPT(w.RefAdj, w.Irregular...)
+		return p, p, 0
+	})
+	hPOPT, w3 := runWith(func(w *Workload) (cache.Policy, core.VertexIndexed, int) {
+		p := core.BuildPOPT(w.RefAdj, w.G.NumVertices(), core.InterIntra, 8, w.Irregular...)
+		h := 16 << 10 / (16 * mem.LineSize) // LLC sets in the tiny config
+		return p, p, p.ReservedWays(h)
+	})
+
+	for i, w := range []*Workload{w1, w2, w3} {
+		if err := w.Check(); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+
+	d, to, po := hDRRIP.LLC.Stats.Misses, hTOPT.LLC.Stats.Misses, hPOPT.LLC.Stats.Misses
+	t.Logf("LLC misses: DRRIP=%d T-OPT=%d P-OPT=%d", d, to, po)
+	if to >= d {
+		t.Errorf("T-OPT misses (%d) should undercut DRRIP (%d)", to, d)
+	}
+	if po >= d {
+		t.Errorf("P-OPT misses (%d) should undercut DRRIP (%d)", po, d)
+	}
+	if float64(po) > 1.35*float64(to) {
+		t.Errorf("P-OPT (%d) should track T-OPT (%d) within ~35%%", po, to)
+	}
+}
+
+func TestStartIterationResetsEpochs(t *testing.T) {
+	g := graph.Uniform(1024, 8192, 3)
+	w := NewPageRank(g)
+	p := core.BuildPOPT(w.RefAdj, w.G.NumVertices(), core.InterIntra, 8, w.Irregular...)
+	h := newTinyHierarchy(func() cache.Policy { return p })
+	r := NewRunner(h, p)
+	w.Run(r)
+	if p.EpochStreams == 0 {
+		t.Fatal("P-OPT never streamed a Rereference Matrix column")
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	g := graph.FromEdges("d", 3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 2}})
+	s := Symmetrize(g)
+	if s.NumEdges() != 2 { // 0->1, 1->0; self-loop dropped
+		t.Fatalf("symmetrized edges = %d, want 2", s.NumEdges())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// In == Out for symmetric graphs.
+	for v := 0; v < 3; v++ {
+		if s.Out.Degree(graph.V(v)) != s.In.Degree(graph.V(v)) {
+			t.Fatal("symmetrized graph is not symmetric")
+		}
+	}
+}
+
+func TestGoldenHelpersAgree(t *testing.T) {
+	// Cross-check golden implementations against trivial cases.
+	g := graph.Mesh(1, 5) // path of 5 vertices
+	comp := goldenComponents(g)
+	for v := 1; v < 5; v++ {
+		if comp[v] != comp[0] {
+			t.Error("path graph must be one component")
+		}
+	}
+	mis := goldenLexFirstMIS(Symmetrize(g))
+	want := []bool{true, false, true, false, true}
+	for v, x := range want {
+		if mis[v] != x {
+			t.Errorf("lex-first MIS on path: vertex %d = %v, want %v", v, mis[v], x)
+		}
+	}
+	dist := bfsForward(g, 0, 100)
+	for v := 0; v < 5; v++ {
+		if dist[v] != v {
+			t.Errorf("BFS distance to %d = %d", v, dist[v])
+		}
+	}
+}
+
+func TestRunnerInstructionAccounting(t *testing.T) {
+	h := newTinyHierarchy(func() cache.Policy { return cache.NewLRU() })
+	r := NewRunner(h, nil)
+	sp := mem.NewSpace()
+	a := sp.AllocBytes("a", 16, 4, false)
+	r.Load(a, 0, 1)
+	r.Store(a, 1, 2)
+	r.Tick(3)
+	if h.Instructions != 5 {
+		t.Errorf("Instructions = %d, want 5", h.Instructions)
+	}
+}
+
+func TestRunnerFilterAbsorbsAccesses(t *testing.T) {
+	h := newTinyHierarchy(func() cache.Policy { return cache.NewLRU() })
+	r := NewRunner(h, nil)
+	r.Filter = func(acc mem.Access) bool { return acc.Write }
+	sp := mem.NewSpace()
+	a := sp.AllocBytes("a", 16, 4, false)
+	r.Store(a, 0, 1) // absorbed
+	r.Load(a, 0, 1)  // passes through
+	if h.L1.Stats.Accesses != 1 {
+		t.Errorf("L1 accesses = %d, want 1 (write absorbed)", h.L1.Stats.Accesses)
+	}
+	if h.Instructions != 2 {
+		t.Errorf("Instructions = %d, want 2", h.Instructions)
+	}
+}
+
+func TestTransposePrefetcherReducesDemandMisses(t *testing.T) {
+	// End to end: PageRank with the transpose-guided prefetcher (the
+	// paper's future-work extension) alongside DRRIP must cut demand LLC
+	// misses vs plain DRRIP.
+	g := graph.Uniform(4096, 32768, 11)
+	run := func(withPrefetch bool) uint64 {
+		w := NewPageRank(g)
+		h := newTinyHierarchy(func() cache.Policy { return cache.NewDRRIP(1) })
+		var hook core.VertexIndexed
+		if withPrefetch {
+			hook = core.NewTransposePrefetcher(h, &w.G.In, w.Irregular[0], 2)
+		}
+		w.Run(NewRunner(h, hook))
+		if err := w.Check(); err != nil {
+			t.Fatal(err)
+		}
+		return h.LLC.Stats.Misses
+	}
+	plain := run(false)
+	pref := run(true)
+	t.Logf("LLC demand misses: DRRIP %d, DRRIP+prefetch %d", plain, pref)
+	if pref >= plain {
+		t.Errorf("prefetching did not reduce demand misses: %d -> %d", plain, pref)
+	}
+}
+
+func TestMutedRoundsLeaveResultsIntact(t *testing.T) {
+	// Radii/MIS mute sparse rounds; the computation must be identical to
+	// an unsimulated run.
+	g := graph.Uniform(2048, 16384, 13)
+	for _, b := range []Builder{{Name: "Radii", New: NewRadii}, {Name: "MIS", New: NewMIS}} {
+		w := b.New(g)
+		h := newTinyHierarchy(func() cache.Policy { return cache.NewLRU() })
+		w.Run(NewRunner(h, nil))
+		if err := w.Check(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestExtensionKernelsComputeCorrectResults(t *testing.T) {
+	for _, b := range Extensions() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for _, g := range tinyGraphs() {
+				w := b.New(g)
+				w.Run(computeRunner())
+				if err := w.Check(); err != nil {
+					t.Errorf("%s on %s: %v", b.Name, g.Name, err)
+				}
+			}
+		})
+	}
+}
+
+func TestExtensionKernelsUnderPOPT(t *testing.T) {
+	g := graph.Uniform(2048, 16384, 21)
+	for _, b := range Extensions() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			w := b.New(g)
+			p := core.BuildPOPT(w.RefAdj, w.G.NumVertices(), core.InterIntra, 8, w.Irregular...)
+			h := newTinyHierarchy(func() cache.Policy { return p })
+			w.Run(NewRunner(h, p))
+			if err := w.Check(); err != nil {
+				t.Fatalf("instrumentation corrupted results: %v", err)
+			}
+		})
+	}
+}
+
+func TestEdgeWeightDeterministicAndBounded(t *testing.T) {
+	for s := graph.V(0); s < 100; s++ {
+		for d := graph.V(0); d < 10; d++ {
+			w1, w2 := EdgeWeight(s, d), EdgeWeight(s, d)
+			if w1 != w2 {
+				t.Fatal("weight not deterministic")
+			}
+			if w1 < 1 || w1 > 16 {
+				t.Fatalf("weight %d out of [1,16]", w1)
+			}
+		}
+	}
+	if EdgeWeight(1, 2) == EdgeWeight(2, 1) && EdgeWeight(3, 4) == EdgeWeight(4, 3) {
+		t.Error("weights look symmetric; hash likely broken")
+	}
+}
+
+func TestBFSStopsAtUnreachable(t *testing.T) {
+	// Two disconnected cliques: BFS from vertex 0 must never claim the
+	// second component.
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 2, Dst: 3}, {Src: 3, Dst: 2}}
+	g := graph.FromEdges("two", 4, edges)
+	w := NewBFS(g)
+	w.Run(computeRunner())
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

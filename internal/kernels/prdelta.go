@@ -1,0 +1,158 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"popt/internal/graph"
+	"popt/internal/mem"
+)
+
+const (
+	prdIters   = 3
+	prdEpsilon = 1e-7
+)
+
+// NewPRDelta builds the PageRank-Delta workload (Ligra PageRankDelta):
+// only vertices whose rank changed by more than epsilon stay in the
+// frontier, and the pull phase accumulates deltas of active incoming
+// neighbors. Two irregular streams result — the 8 B delta array and the
+// 1-bit frontier — matching Table II (8 B & 1 bit, pull-mostly,
+// transpose = CSR).
+func NewPRDelta(g *graph.Graph) *Workload {
+	n := g.NumVertices()
+	sp := mem.NewSpace()
+	rankArr := sp.AllocBytes("rank", n, 8, false)
+	deltaArr := sp.AllocBytes("delta", n, 8, true)
+	frontierArr := sp.Alloc("frontier", n, 1, true)
+	oaArr := sp.AllocBytes("cscOA", n+1, 8, false)
+	naArr := sp.AllocBytes("cscNA", g.NumEdges(), 4, false)
+
+	rank := make([]float64, n)
+	delta := make([]float64, n)
+	nextDelta := make([]float64, n)
+	frontier := make([]bool, n)
+	nextFrontier := make([]bool, n)
+
+	w := &Workload{
+		Name: "PR-Delta", G: g, Space: sp,
+		Irregular:    []*mem.Array{deltaArr, frontierArr},
+		RefAdj:       &g.Out,
+		Pull:         true,
+		UsesFrontier: true,
+	}
+	w.run = func(r *Runner) {
+		base := (1 - prDamping) / float64(n)
+		for v := 0; v < n; v++ {
+			rank[v] = 0
+			delta[v] = 1.0 / float64(n)
+			frontier[v] = true
+			r.Store(rankArr, v, PCStreamWrite)
+			r.Store(deltaArr, v, PCStreamWrite)
+		}
+		for it := 0; it < prdIters; it++ {
+			r.SetMuted(EdgeDensity(frontier, &g.Out) < PullDensityThreshold)
+			r.StartIteration()
+			for dst := 0; dst < n; dst++ {
+				r.SetVertex(graph.V(dst))
+				r.Load(oaArr, dst, PCOffsets)
+				sum := 0.0
+				lo, hi := g.In.OA[dst], g.In.OA[dst+1]
+				for e := lo; e < hi; e++ {
+					r.Load(naArr, int(e), PCNeighbors)
+					src := g.In.NA[e]
+					// Frontier membership is checked for every edge; the
+					// delta is fetched only when the source is active.
+					r.Load(frontierArr, int(src), PCFrontierRead)
+					if frontier[src] {
+						r.Load(deltaArr, int(src), PCIrregRead)
+						if d := g.Out.Degree(src); d > 0 {
+							sum += delta[src] / float64(d)
+						}
+					}
+					r.Tick(1)
+				}
+				nd := prDamping * sum
+				if it == 0 {
+					nd += base
+				}
+				nextDelta[dst] = nd
+				active := math.Abs(nd) > prdEpsilon*math.Abs(rank[dst]+nd) || it == 0
+				nextFrontier[dst] = active && nd != 0
+				if nextFrontier[dst] {
+					rank[dst] += nd
+					r.Store(rankArr, dst, PCStreamWrite)
+				}
+				r.Store(frontierArr, dst, PCFrontierWrite)
+				r.Tick(3)
+			}
+			delta, nextDelta = nextDelta, delta
+			frontier, nextFrontier = nextFrontier, frontier
+			for v := range nextFrontier {
+				nextFrontier[v] = false
+			}
+			// The new deltas are written streaming as part of the pull
+			// above (modeled by the rank/frontier stores).
+		}
+		r.SetMuted(false)
+	}
+	w.check = func() error {
+		got, active := goldenPRDelta(g, prdIters)
+		for v := 0; v < n; v++ {
+			if math.Abs(got[v]-rank[v]) > 1e-9 {
+				return fmt.Errorf("PR-Delta: rank[%d] = %g, golden %g", v, rank[v], got[v])
+			}
+		}
+		for v := 0; v < n; v++ {
+			if frontier[v] != active[v] {
+				return fmt.Errorf("PR-Delta: frontier[%d] = %v, golden %v", v, frontier[v], active[v])
+			}
+		}
+		return nil
+	}
+	return w
+}
+
+// goldenPRDelta recomputes the same fixed iteration count with independent
+// bookkeeping.
+func goldenPRDelta(g *graph.Graph, iters int) (rank []float64, frontier []bool) {
+	n := g.NumVertices()
+	rank = make([]float64, n)
+	delta := make([]float64, n)
+	nextDelta := make([]float64, n)
+	frontier = make([]bool, n)
+	next := make([]bool, n)
+	for v := 0; v < n; v++ {
+		delta[v] = 1.0 / float64(n)
+		frontier[v] = true
+	}
+	base := (1 - prDamping) / float64(n)
+	for it := 0; it < iters; it++ {
+		for dst := 0; dst < n; dst++ {
+			sum := 0.0
+			for _, src := range g.In.Neighs(graph.V(dst)) {
+				if frontier[src] {
+					if d := g.Out.Degree(src); d > 0 {
+						sum += delta[src] / float64(d)
+					}
+				}
+			}
+			nd := prDamping * sum
+			if it == 0 {
+				nd += base
+			}
+			nextDelta[dst] = nd
+			active := math.Abs(nd) > prdEpsilon*math.Abs(rank[dst]+nd) || it == 0
+			next[dst] = active && nd != 0
+			if next[dst] {
+				rank[dst] += nd
+			}
+		}
+		delta, nextDelta = nextDelta, delta
+		frontier, next = next, frontier
+		for v := range next {
+			next[v] = false
+		}
+	}
+	return rank, frontier
+}

@@ -1,0 +1,224 @@
+// Package kernels implements the paper's five graph applications (Table
+// II) — PageRank, Connected Components, PageRank-Delta, Radii, and Maximal
+// Independent Set — instrumented to drive the cache simulator with the
+// same logical memory reference stream the real kernels generate, while
+// simultaneously computing real (verifiable) results.
+package kernels
+
+import (
+	"popt/internal/cache"
+	"popt/internal/core"
+	"popt/internal/graph"
+	"popt/internal/mem"
+)
+
+// PullDensityThreshold is the frontier density below which a
+// direction-switching kernel would run the round in push mode; frontier
+// kernels mute such rounds (Ligra's dense/sparse switch fires near
+// |frontier edges| > |E|/20, approximated here by active-vertex fraction).
+const PullDensityThreshold = 0.05
+
+// Density returns the fraction of set entries in a frontier.
+func Density(frontier []bool) float64 {
+	if len(frontier) == 0 {
+		return 0
+	}
+	n := 0
+	for _, b := range frontier {
+		if b {
+			n++
+		}
+	}
+	return float64(n) / float64(len(frontier))
+}
+
+// EdgeDensity returns the fraction of the edge set incident to active
+// frontier vertices — Ligra's dense/sparse switching criterion (a few hub
+// vertices can make a numerically small frontier edge-dense).
+func EdgeDensity(frontier []bool, adj *graph.Adj) float64 {
+	if adj.M() == 0 {
+		return 0
+	}
+	var active uint64
+	for v, b := range frontier {
+		if b {
+			active += uint64(adj.Degree(graph.V(v)))
+		}
+	}
+	return float64(active) / float64(adj.M())
+}
+
+// PC site identifiers. Each static load/store in a kernel gets a distinct
+// PC so PC-indexed policies (SHiP-PC, Hawkeye) see realistic signatures.
+const (
+	PCOffsets uint16 = iota + 1
+	PCNeighbors
+	PCIrregRead
+	PCIrregWrite
+	PCStreamRead
+	PCStreamWrite
+	PCFrontierRead
+	PCFrontierWrite
+	PCCompRead
+	PCCompWrite
+)
+
+// Runner threads kernel memory references into a cache hierarchy and
+// forwards outer-loop progress to vertex-indexed policies (the
+// update_index instruction). A nil Runner method receiver is not
+// supported; a Runner with a nil hierarchy performs pure computation
+// (used by golden-model runs and preprocessing timing).
+type Runner struct {
+	H *cache.Hierarchy
+	// Hook receives update_index events (P-OPT / T-OPT); nil otherwise.
+	Hook core.VertexIndexed
+	// Filter, when set, may absorb an access before it reaches the
+	// hierarchy (returns true if absorbed). The PHI model uses this to
+	// coalesce commutative updates in-cache.
+	Filter func(acc mem.Access) bool
+
+	// muted suppresses simulation (accesses, instructions, hooks) while
+	// computation proceeds. Frontier kernels mute their sparse rounds:
+	// direction-switching executes those in push mode, and — like the
+	// paper, which samples only pull iterations in detail — we exclude
+	// them from the simulated reference stream for every policy alike.
+	muted bool
+}
+
+// NewRunner builds a runner over h. hook may be nil.
+func NewRunner(h *cache.Hierarchy, hook core.VertexIndexed) *Runner {
+	return &Runner{H: h, Hook: hook}
+}
+
+// SetVertex reports the outer-loop vertex currently being processed.
+func (r *Runner) SetVertex(v graph.V) {
+	if r.Hook != nil && !r.muted {
+		r.Hook.UpdateIndex(v)
+	}
+}
+
+// SetMuted switches simulation off (true) or on (false); see muted.
+func (r *Runner) SetMuted(m bool) { r.muted = m }
+
+// epochResetter is implemented by P-OPT, whose streaming engine re-fetches
+// the first column when a traversal restarts.
+type epochResetter interface{ ResetEpoch() }
+
+// tileSetter is implemented by tile-switching policies (core.TilePolicy).
+type tileSetter interface{ SetTile(int) }
+
+// SetTile reports that a segmented kernel moved to tile t.
+func (r *Runner) SetTile(t int) {
+	if ts, ok := r.Hook.(tileSetter); ok {
+		ts.SetTile(t)
+	}
+}
+
+// StartIteration marks the beginning of a fresh pass over the vertices.
+func (r *Runner) StartIteration() {
+	if r.muted {
+		return
+	}
+	if er, ok := r.Hook.(epochResetter); ok {
+		er.ResetEpoch()
+	} else {
+		r.SetVertex(0)
+	}
+}
+
+func (r *Runner) access(acc mem.Access) {
+	if r.H == nil || r.muted {
+		return
+	}
+	r.H.Instructions++
+	if r.Filter != nil && r.Filter(acc) {
+		return
+	}
+	r.H.Access(acc)
+}
+
+// Load issues a read of element i of a.
+func (r *Runner) Load(a *mem.Array, i int, pc uint16) {
+	if r.H == nil || r.muted {
+		return
+	}
+	r.access(mem.Access{Addr: a.Addr(i), PC: pc})
+}
+
+// Store issues a write of element i of a.
+func (r *Runner) Store(a *mem.Array, i int, pc uint16) {
+	if r.H == nil || r.muted {
+		return
+	}
+	r.access(mem.Access{Addr: a.Addr(i), PC: pc, Write: true})
+}
+
+// Tick accounts n non-memory instructions.
+func (r *Runner) Tick(n uint64) {
+	if r.H != nil && !r.muted {
+		r.H.Instructions += n
+	}
+}
+
+// Workload is one (kernel, graph) pair ready to simulate: the address
+// space is laid out, the irregular arrays and the transpose that encodes
+// their next references are identified, and run/check closures capture the
+// kernel state.
+type Workload struct {
+	// Name is the kernel name ("PR", "CC", ...).
+	Name string
+	// G is the input graph.
+	G *graph.Graph
+	// Space is the simulated address space.
+	Space *mem.Space
+	// Irregular lists the arrays T-OPT/P-OPT manage, in Table II's order
+	// (vertex data first, then frontier bits if any).
+	Irregular []*mem.Array
+	// RefAdj is the transpose of the traversal direction: Out for pull
+	// kernels, In for push (Table II's "Transpose" row).
+	RefAdj *graph.Adj
+	// Pull reports the execution style for Table II.
+	Pull bool
+	// UsesFrontier reports whether a frontier bit-vector is irregular data.
+	UsesFrontier bool
+
+	run   func(r *Runner)
+	check func() error
+}
+
+// Run simulates the kernel's reference stream through r (and computes the
+// kernel's real results as a side effect).
+func (w *Workload) Run(r *Runner) { w.run(r) }
+
+// Check validates the computed results against an independent golden
+// implementation. It is only meaningful after Run.
+func (w *Workload) Check() error { return w.check() }
+
+// Builder constructs a fresh Workload for a graph; the suite of builders
+// mirrors Table II.
+type Builder struct {
+	Name string
+	New  func(g *graph.Graph) *Workload
+}
+
+// All returns the paper's five applications in Table II order.
+func All() []Builder {
+	return []Builder{
+		{Name: "PR", New: NewPageRank},
+		{Name: "CC", New: NewCC},
+		{Name: "PR-Delta", New: NewPRDelta},
+		{Name: "Radii", New: NewRadii},
+		{Name: "MIS", New: NewMIS},
+	}
+}
+
+// Extensions returns additional kernels beyond the paper's Table II suite
+// (direction-optimizing BFS and Bellman-Ford SSSP); they use the same
+// pull/frontier structure and are first-class workloads for the
+// simulator, just not part of the paper's figures.
+func Extensions() []Builder {
+	return []Builder{
+		{Name: "BFS", New: NewBFS},
+		{Name: "SSSP", New: NewSSSP},
+	}
+}

@@ -1,0 +1,180 @@
+package multicore
+
+import (
+	"math"
+	"testing"
+
+	"popt/internal/cache"
+	"popt/internal/core"
+	"popt/internal/graph"
+	"popt/internal/kernels"
+	"popt/internal/mem"
+)
+
+func tinyCfg() Config {
+	return Config{
+		Cores: 4, Banks: 4,
+		L1Size: 1 << 10, L1Ways: 4,
+		L2Size: 2 << 10, L2Ways: 4,
+		LLCSize: 16 << 10, LLCWays: 16,
+		BankCycle: 7,
+	}
+}
+
+// runPR builds the machine and runs the parallel kernel under a policy.
+func runPR(t *testing.T, g *graph.Graph, mk func(w fakeWorkload) (cache.Policy, core.VertexIndexed, int), serial bool) PRResult {
+	t.Helper()
+	// Pre-plan the irregular array geometry the same way ParallelPageRank
+	// will (fresh Space, same allocation order), so policies can be built
+	// against matching addresses.
+	sp := mem.NewSpace()
+	sp.AllocBytes("rank", g.NumVertices(), 4, false)
+	contrib := sp.AllocBytes("contrib", g.NumVertices(), 4, true)
+	fw := fakeWorkload{g: g, contrib: contrib}
+	pol, hook, reserve := mk(fw)
+	m := NewMachine(tinyCfg(), pol, reserve)
+	epochSize := (g.NumVertices() + 255) / 256
+	return ParallelPageRank(m, g, hook, 2, epochSize, serial)
+}
+
+type fakeWorkload struct {
+	g       *graph.Graph
+	contrib *mem.Array
+}
+
+func TestParallelPageRankMatchesSerialValues(t *testing.T) {
+	g := graph.Uniform(2048, 8192, 3)
+	res := runPR(t, g, func(fakeWorkload) (cache.Policy, core.VertexIndexed, int) {
+		return cache.NewDRRIP(1), nil, 0
+	}, false)
+	// Golden: the serial kernel's verified math.
+	w := kernels.NewPageRank(g)
+	w.Run(&kernels.Runner{})
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+	golden := goldenRanks(g, 2)
+	for v := 0; v < g.NumVertices(); v++ {
+		if math.Abs(res.Ranks[v]-golden[v]) > 1e-12 {
+			t.Fatalf("parallel rank[%d] = %g, golden %g", v, res.Ranks[v], golden[v])
+		}
+	}
+}
+
+// goldenRanks is an independent synchronous PageRank.
+func goldenRanks(g *graph.Graph, iters int) []float64 {
+	n := g.NumVertices()
+	rank := make([]float64, n)
+	contrib := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1.0 / float64(n)
+	}
+	base := 0.15 / float64(n)
+	for it := 0; it < iters; it++ {
+		for v := 0; v < n; v++ {
+			if d := g.Out.Degree(graph.V(v)); d > 0 {
+				contrib[v] = rank[v] / float64(d)
+			} else {
+				contrib[v] = 0
+			}
+		}
+		for dst := 0; dst < n; dst++ {
+			sum := 0.0
+			for _, src := range g.In.Neighs(graph.V(dst)) {
+				sum += contrib[src]
+			}
+			rank[dst] = base + 0.85*sum
+		}
+	}
+	return rank
+}
+
+func TestParallelLoadBalance(t *testing.T) {
+	g := graph.Uniform(4096, 16384, 5)
+	res := runPR(t, g, func(fakeWorkload) (cache.Policy, core.VertexIndexed, int) {
+		return cache.NewDRRIP(1), nil, 0
+	}, false)
+	var min, max uint64 = math.MaxUint64, 0
+	for _, in := range res.Stats.CoreInstructions {
+		if in < min {
+			min = in
+		}
+		if in > max {
+			max = in
+		}
+	}
+	if float64(max) > 1.5*float64(min) {
+		t.Errorf("core imbalance: instructions %v", res.Stats.CoreInstructions)
+	}
+}
+
+func TestParallelPOPTBeatsDRRIPMisses(t *testing.T) {
+	g := graph.Uniform(4096, 16384, 7)
+	drrip := runPR(t, g, func(fakeWorkload) (cache.Policy, core.VertexIndexed, int) {
+		return cache.NewDRRIP(1), nil, 0
+	}, false)
+	popt := runPR(t, g, func(fw fakeWorkload) (cache.Policy, core.VertexIndexed, int) {
+		p := core.BuildPOPT(&fw.g.Out, fw.g.NumVertices(), core.InterIntra, 8, fw.contrib)
+		sets := tinyCfg().LLCSize / (tinyCfg().LLCWays * mem.LineSize)
+		return p, p, p.ReservedWays(sets)
+	}, true)
+	t.Logf("parallel LLC misses: DRRIP=%d P-OPT=%d; cycles %g vs %g; maxBankShare %.3f",
+		drrip.Stats.LLCMisses, popt.Stats.LLCMisses, drrip.Stats.Cycles, popt.Stats.Cycles, popt.Stats.MaxBankShare)
+	if popt.Stats.LLCMisses >= drrip.Stats.LLCMisses {
+		t.Errorf("parallel P-OPT misses %d should undercut DRRIP %d", popt.Stats.LLCMisses, drrip.Stats.LLCMisses)
+	}
+	// P-OPT executions serialize epochs.
+	if popt.Stats.Cycles <= 0 || drrip.Stats.Cycles <= 0 {
+		t.Error("cycle model returned nonpositive time")
+	}
+	if popt.Stats.MatrixBankAccesses == 0 {
+		t.Error("P-OPT bank contention accounting missing")
+	}
+	// Parallel results still correct.
+	golden := goldenRanks(g, 2)
+	for v := 0; v < g.NumVertices(); v += 97 {
+		if math.Abs(popt.Ranks[v]-golden[v]) > 1e-12 {
+			t.Fatalf("P-OPT parallel rank[%d] diverged", v)
+		}
+	}
+}
+
+func TestEpochBarriersCounted(t *testing.T) {
+	g := graph.Uniform(1024, 4096, 9)
+	res := runPR(t, g, func(fw fakeWorkload) (cache.Policy, core.VertexIndexed, int) {
+		p := core.BuildPOPT(&fw.g.Out, fw.g.NumVertices(), core.InterIntra, 8, fw.contrib)
+		return p, p, 0
+	}, true)
+	_ = res
+	// 2 iterations x 256 epochs (1024 vertices / epochSize 4).
+	// EpochBarriers live on the machine, which runPR hides; re-run inline.
+	sp := mem.NewSpace()
+	sp.AllocBytes("rank", g.NumVertices(), 4, false)
+	contrib := sp.AllocBytes("contrib", g.NumVertices(), 4, true)
+	p := core.BuildPOPT(&g.Out, g.NumVertices(), core.InterIntra, 8, contrib)
+	m := NewMachine(tinyCfg(), p, 0)
+	ParallelPageRank(m, g, p, 1, 4, true)
+	if m.EpochBarriers != 256 {
+		t.Errorf("EpochBarriers = %d, want 256", m.EpochBarriers)
+	}
+}
+
+func TestBankTrafficSpread(t *testing.T) {
+	g := graph.Uniform(2048, 8192, 11)
+	sp := mem.NewSpace()
+	sp.AllocBytes("rank", g.NumVertices(), 4, false)
+	contrib := sp.AllocBytes("contrib", g.NumVertices(), 4, true)
+	_ = contrib
+	m := NewMachine(tinyCfg(), cache.NewDRRIP(1), 0)
+	res := ParallelPageRank(m, g, nil, 1, 64, false)
+	if res.Stats.MaxBankShare > 0.6 {
+		t.Errorf("one bank absorbs %.0f%% of traffic; striping broken", 100*res.Stats.MaxBankShare)
+	}
+	var total uint64
+	for _, b := range m.BankDemand {
+		total += b
+	}
+	if total != res.Stats.LLCAccesses {
+		t.Errorf("bank demand sums to %d, LLC saw %d", total, res.Stats.LLCAccesses)
+	}
+}

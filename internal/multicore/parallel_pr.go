@@ -1,0 +1,153 @@
+package multicore
+
+import (
+	"popt/internal/core"
+	"popt/internal/graph"
+	"popt/internal/kernels"
+	"popt/internal/mem"
+)
+
+// coreStream is one core's pending reference stream for the current
+// parallel region, replayed round-robin against the machine.
+type coreStream struct {
+	accs  []mem.Access
+	ticks []uint64 // non-memory instructions after each access
+	// mainVertex, for core 0, tracks the outer-loop vertex of each access
+	// so the designated-main-thread currVertex register can be updated as
+	// the interleaving progresses.
+	mainVertex []graph.V
+}
+
+func (cs *coreStream) push(acc mem.Access, tick uint64, v graph.V) {
+	cs.accs = append(cs.accs, acc)
+	cs.ticks = append(cs.ticks, tick)
+	cs.mainVertex = append(cs.mainVertex, v)
+}
+
+// replay interleaves the per-core streams round-robin, one access per core
+// per turn — the cycle-approximate interleaving of symmetric cores. Core
+// 0's outer-loop position drives update_index (the paper's
+// designated-main-thread policy).
+func replay(m *Machine, streams []*coreStream, hook core.VertexIndexed) {
+	idx := make([]int, len(streams))
+	for {
+		done := true
+		for ci, cs := range streams {
+			if idx[ci] >= len(cs.accs) {
+				continue
+			}
+			done = false
+			i := idx[ci]
+			if ci == 0 && hook != nil {
+				hook.UpdateIndex(cs.mainVertex[i])
+			}
+			m.access(m.Cores[ci], cs.accs[i])
+			m.Tick(m.Cores[ci], cs.ticks[i])
+			idx[ci]++
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// PRResult carries the parallel PageRank outcome.
+type PRResult struct {
+	Ranks []float64
+	Stats Stats
+}
+
+// ParallelPageRank simulates iters iterations of parallel pull PageRank on
+// the machine. When epochSerial is true (required by P-OPT), epochs of
+// epochSize vertices execute serially with vertices within each epoch
+// partitioned across cores; otherwise the whole iteration is partitioned
+// once (free-running parallel execution, as non-P-OPT policies allow).
+func ParallelPageRank(m *Machine, g *graph.Graph, hook core.VertexIndexed, iters, epochSize int, epochSerial bool) PRResult {
+	n := g.NumVertices()
+	sp := mem.NewSpace()
+	rankArr := sp.AllocBytes("rank", n, 4, false)
+	contribArr := sp.AllocBytes("contrib", n, 4, true)
+	oaArr := sp.AllocBytes("cscOA", n+1, 8, false)
+	naArr := sp.AllocBytes("cscNA", g.NumEdges(), 4, false)
+	m.SetIrregRange(contribArr.Base, contribArr.Bound())
+
+	rank := make([]float64, n)
+	contrib := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1.0 / float64(n)
+	}
+	const damping = 0.85
+	base := (1 - damping) / float64(n)
+	cores := m.Cfg.Cores
+
+	// pullRegion builds per-core streams for destinations [lo, hi) and
+	// replays them.
+	pullRegion := func(lo, hi int) {
+		streams := make([]*coreStream, cores)
+		for i := range streams {
+			streams[i] = &coreStream{}
+		}
+		span := hi - lo
+		for ci := 0; ci < cores; ci++ {
+			from := lo + ci*span/cores
+			to := lo + (ci+1)*span/cores
+			for dst := from; dst < to; dst++ {
+				streams[ci].push(mem.Access{Addr: oaArr.Addr(dst), PC: kernels.PCOffsets}, 0, graph.V(dst))
+				sum := 0.0
+				for e := g.In.OA[dst]; e < g.In.OA[dst+1]; e++ {
+					src := g.In.NA[e]
+					streams[ci].push(mem.Access{Addr: naArr.Addr(int(e)), PC: kernels.PCNeighbors}, 0, graph.V(dst))
+					streams[ci].push(mem.Access{Addr: contribArr.Addr(int(src)), PC: kernels.PCIrregRead}, 1, graph.V(dst))
+					sum += contrib[src]
+				}
+				rank[dst] = base + damping*sum
+				streams[ci].push(mem.Access{Addr: rankArr.Addr(dst), PC: kernels.PCStreamWrite, Write: true}, 2, graph.V(dst))
+			}
+		}
+		replay(m, streams, hook)
+	}
+
+	for it := 0; it < iters; it++ {
+		// Contribution phase (streaming, partitioned once).
+		streams := make([]*coreStream, cores)
+		for i := range streams {
+			streams[i] = &coreStream{}
+		}
+		for ci := 0; ci < cores; ci++ {
+			for v := ci * n / cores; v < (ci+1)*n/cores; v++ {
+				if d := g.Out.Degree(graph.V(v)); d > 0 {
+					contrib[v] = rank[v] / float64(d)
+				} else {
+					contrib[v] = 0
+				}
+				streams[ci].push(mem.Access{Addr: rankArr.Addr(v), PC: kernels.PCStreamRead}, 1, 0)
+				streams[ci].push(mem.Access{Addr: contribArr.Addr(v), PC: kernels.PCStreamWrite, Write: true}, 1, 0)
+			}
+		}
+		replay(m, streams, nil)
+
+		if er, ok := hook.(interface{ ResetEpoch() }); ok {
+			er.ResetEpoch()
+		}
+		if epochSerial {
+			for lo := 0; lo < n; lo += epochSize {
+				hi := lo + epochSize
+				if hi > n {
+					hi = n
+				}
+				if hook != nil {
+					hook.UpdateIndex(graph.V(lo))
+				}
+				pullRegion(lo, hi)
+				m.EpochBarriers++
+			}
+		} else {
+			pullRegion(0, n)
+		}
+	}
+	var streamed uint64
+	if m.popt != nil {
+		streamed = m.popt.BytesStreamed
+	}
+	return PRResult{Ranks: rank, Stats: m.Collect(streamed)}
+}

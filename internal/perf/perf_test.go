@@ -1,0 +1,82 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"popt/internal/cache"
+	"popt/internal/graph"
+	"popt/internal/kernels"
+)
+
+func TestBreakdownArithmetic(t *testing.T) {
+	b := Breakdown{ComputeCycles: 10, L2Stall: 5, LLCStall: 5, DRAMStall: 60, StreamCycles: 20}
+	if b.Total() != 100 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	if b.DRAMFraction() != 0.6 {
+		t.Fatalf("DRAMFraction = %v", b.DRAMFraction())
+	}
+	if s := Speedup(Breakdown{ComputeCycles: 200}, b); s != 2 {
+		t.Fatalf("Speedup = %v", s)
+	}
+}
+
+func TestDRAMCycles(t *testing.T) {
+	p := Default()
+	want := 173 * 2.266
+	if math.Abs(p.DRAMCycles()-want) > 1e-9 {
+		t.Fatalf("DRAMCycles = %v, want %v", p.DRAMCycles(), want)
+	}
+}
+
+func TestModelChargesEachComponent(t *testing.T) {
+	h := &cache.Hierarchy{
+		L1:  cache.NewLevel("L1", 1024, 4, cache.NewLRU()),
+		L2:  cache.NewLevel("L2", 2048, 4, cache.NewLRU()),
+		LLC: cache.NewLevel("LLC", 4096, 4, cache.NewLRU()),
+	}
+	h.Instructions = 2000
+	h.L2.Stats.Hits = 140
+	h.LLC.Stats.Hits = 140
+	h.DRAMReads = 100
+	h.DRAMWrites = 20
+	p := Default()
+	b := Model(h, 1600, p)
+	if b.ComputeCycles != 2000/p.BaseIPC {
+		t.Errorf("compute = %v, want %v", b.ComputeCycles, 2000/p.BaseIPC)
+	}
+	if math.Abs(b.L2Stall-140*p.L2Latency/p.MLP) > 1e-9 {
+		t.Errorf("L2 stall = %v", b.L2Stall)
+	}
+	if math.Abs(b.DRAMStall-110*p.DRAMCycles()/p.MLP) > 1e-9 {
+		t.Errorf("DRAM stall = %v", b.DRAMStall)
+	}
+	if b.StreamCycles != 100 {
+		t.Errorf("stream = %v", b.StreamCycles)
+	}
+}
+
+// TestCalibrationDRAMBound checks the headline calibration: a PageRank run
+// at the default experiment scale under LRU must be DRAM-bound in the
+// 55-90% band the paper cites (60-80%, prior work).
+func TestCalibrationDRAMBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	g := graph.Uniform(1<<15, 8<<15, 5)
+	w := kernels.NewPageRank(g)
+	h := cache.NewHierarchy(cache.Config{
+		L1Size: 8 << 10, L1Ways: 8,
+		L2Size: 16 << 10, L2Ways: 8,
+		LLCSize: 32 << 10, LLCWays: 16, // ~4x smaller than irregData, like the default scale
+		LLCPolicy: func() cache.Policy { return cache.NewLRU() },
+	})
+	w.Run(kernels.NewRunner(h, nil))
+	b := Model(h, 0, Default())
+	frac := b.DRAMFraction()
+	t.Logf("breakdown: %v", b)
+	if frac < 0.6 || frac > 0.85 {
+		t.Errorf("DRAM fraction = %.2f, want the paper's DRAM-bound regime", frac)
+	}
+}

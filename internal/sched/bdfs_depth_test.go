@@ -1,0 +1,31 @@
+package sched
+
+import (
+	"testing"
+
+	"popt/internal/cache"
+	"popt/internal/graph"
+	"popt/internal/kernels"
+)
+
+func TestBDFSDepthSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	g := graph.Community(1<<16, 14, 1024, 0.85, 43)
+	base := func(order []graph.V) uint64 {
+		w := kernels.NewPageRankOrdered(g, order)
+		h := cache.NewHierarchy(cache.Scaled(func() cache.Policy { return cache.NewDRRIP(1) }))
+		w.Run(kernels.NewRunner(h, nil))
+		return h.LLC.Stats.Misses
+	}
+	seq := make([]graph.V, g.NumVertices())
+	for i := range seq {
+		seq[i] = graph.V(i)
+	}
+	seqMisses := base(seq)
+	for _, d := range []int{1, 2, 3, 6, 16} {
+		m := base(BDFSOrder(g, d))
+		t.Logf("depth %2d: misses %d (seq %d) -> reduction %+.1f%%", d, m, seqMisses, 100*(float64(seqMisses)-float64(m))/float64(seqMisses))
+	}
+}
