@@ -1,0 +1,82 @@
+// Command poptlint runs the repository's custom static-analysis suite
+// (internal/lint) over the given packages: simulator determinism, the
+// cache.Policy contract, and cache.Stats write discipline. It exits
+// nonzero when any finding survives the //lint directives, so it can gate
+// CI the same way go vet does.
+//
+// Usage:
+//
+//	go run ./cmd/poptlint ./...
+//	go run ./cmd/poptlint -list
+//	go run ./cmd/poptlint -run determinism ./internal/cache/...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"popt/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	all := []*lint.Analyzer{
+		lint.NewDeterminism(),
+		lint.PolicyContract,
+		lint.StatsDiscipline,
+	}
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *run != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, a := range all {
+				if a.Name == name {
+					analyzers = append(analyzers, a)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "poptlint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := lint.NewLoader("")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "poptlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "poptlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "poptlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

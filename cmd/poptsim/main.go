@@ -27,10 +27,12 @@ func main() {
 	policy := flag.String("policy", "P-OPT", "LLC policy: LRU, DRRIP, SHiP-PC, SHiP-Mem, Hawkeye, T-OPT, P-OPT, P-OPT-SE, P-OPT-inter-only")
 	scale := flag.String("scale", "default", "input scale: tiny, default, large")
 	seed := flag.Int64("seed", 42, "generator seed")
+	check := flag.Bool("check", false, "wrap the LLC policy in a runtime contract checker (panics on Policy-contract violations)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.CheckPolicies = *check
 	switch *scale {
 	case "tiny":
 		cfg.Scale = graph.ScaleTiny

@@ -24,6 +24,10 @@ type Config struct {
 	// Cache returns the hierarchy configuration for an LLC policy; when
 	// nil, the scale-matched default is used.
 	Cache func(llc func() cache.Policy) cache.Config
+	// CheckPolicies wraps every LLC policy in cache.NewCheckedPolicy,
+	// panicking on Policy-contract violations. Costs one lines-snapshot
+	// per eviction; meant for tests and -check runs, not large sweeps.
+	CheckPolicies bool
 }
 
 // DefaultConfig is the standard experiment configuration.
@@ -251,21 +255,26 @@ func POPTSetup(kind core.Kind, bits uint, chargeWays bool) Setup {
 // consumed).
 func RunWorkload(c Config, w *kernels.Workload, s Setup) Result {
 	var pol cache.Policy
-	var hook core.VertexIndexed
-	reserve := 0
 	cfg := c.cacheConfig(func() cache.Policy { return pol })
-	pol, hook, reserve = s.Make(w, cfg)
+	rawPol, hook, reserve := s.Make(w, cfg)
+	pol = rawPol
+	if c.CheckPolicies {
+		// Wrap only the Policy seat: optional hook interfaces (epoch
+		// resets, tile switches) are dispatched on `hook`, which stays the
+		// raw policy, so checking never changes simulated behavior.
+		pol = cache.NewCheckedPolicy(rawPol)
+	}
 	if reserve >= cfg.LLCWays {
 		reserve = cfg.LLCWays - 1 // metadata would swamp the LLC; saturate
 	}
 	h := cache.NewHierarchy(cfg)
 	if reserve > 0 {
-		h.LLC.Reserve(reserve)
+		h.ReserveLLC(reserve)
 	}
 	r := kernels.NewRunner(h, hook)
 	w.Run(r)
 	res := Result{Policy: s.Name, H: h, Reserved: reserve}
-	if p, ok := pol.(*core.POPT); ok {
+	if p, ok := rawPol.(*core.POPT); ok {
 		res.Streamed = p.BytesStreamed
 		res.TieRate = p.TieRate()
 	}

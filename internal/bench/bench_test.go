@@ -125,7 +125,7 @@ func hWithMisses(misses uint64) *cache.Hierarchy {
 		LLCSize: 4 << 10, LLCWays: 4,
 		LLCPolicy: func() cache.Policy { return cache.NewLRU() },
 	})
-	h.LLC.Stats.Misses = misses
+	h.LLC.Stats.Misses = misses //lint:allow statsdiscipline (test fixture)
 	return h
 }
 

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"popt/internal/cache"
+	"popt/internal/core"
+	"popt/internal/graph"
+	"popt/internal/kernels"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/determinism.golden from this run")
+
+// determinismMatrix simulates two kernels under two policies at tiny scale
+// (with runtime contract checking on) and renders every counter that feeds
+// the paper's tables. Any hidden nondeterminism — map iteration, global
+// rand, wall-clock coupling — shows up as a diff here.
+func determinismMatrix(t *testing.T) string {
+	t.Helper()
+	cfg := TinyConfig()
+	cfg.CheckPolicies = true
+
+	kernelNames := map[string]bool{"PR": true, "CC": true}
+	var builders []kernels.Builder
+	for _, b := range kernels.All() {
+		if kernelNames[b.Name] {
+			builders = append(builders, b)
+		}
+	}
+	if len(builders) != len(kernelNames) {
+		t.Fatalf("found %d of %d kernels", len(builders), len(kernelNames))
+	}
+	setups := []Setup{DRRIPSetup(), POPTSetup(core.InterIntra, 8, true)}
+
+	var sb strings.Builder
+	for _, b := range builders {
+		for _, s := range setups {
+			// Regenerate the graph per run so generator determinism is
+			// under test too, not just the simulation.
+			g := graph.Uniform(1<<10, 4<<10, cfg.Seed)
+			w := b.New(g)
+			res := RunWorkload(cfg, w, s)
+			if err := w.Check(); err != nil {
+				t.Fatalf("%s/%s: result verification failed: %v", b.Name, s.Name, err)
+			}
+			h := res.H
+			fmt.Fprintf(&sb, "app=%s policy=%s", b.Name, s.Name)
+			for _, e := range []struct {
+				name string
+				l    *cache.Level
+			}{{"l1", h.L1}, {"l2", h.L2}, {"llc", h.LLC}} {
+				st := e.l.Stats
+				fmt.Fprintf(&sb, " %s(a=%d,h=%d,m=%d,e=%d,wb=%d)", e.name,
+					st.Accesses, st.Hits, st.Misses, st.Evictions, st.Writebacks)
+			}
+			fmt.Fprintf(&sb, " dram(r=%d,w=%d) instr=%d reserved=%d streamed=%d\n",
+				h.DRAMReads, h.DRAMWrites, h.Instructions, res.Reserved, res.Streamed)
+		}
+	}
+	return sb.String()
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	first := determinismMatrix(t)
+	second := determinismMatrix(t)
+	if first != second {
+		t.Fatalf("two in-process runs diverged:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+
+	goldenPath := filepath.Join("testdata", "determinism.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(first), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test ./internal/bench -run Determinism -update` after intentional changes): %v", err)
+	}
+	if string(want) != first {
+		t.Fatalf("stats diverge from checked-in golden (intentional change? re-run with -update):\n--- got ---\n%s--- want ---\n%s", first, want)
+	}
+}

@@ -47,7 +47,7 @@ func TestBeladyMINIsLowerBoundProperty(t *testing.T) {
 			func() Policy { return NewDRRIP(int64(trial)) },
 			func() Policy { return NewRandom(int64(trial)) },
 		} {
-			p := mk()
+			p := NewCheckedPolicy(mk())
 			s := SimulateTrace(NewLevel("X", 8*mem.LineSize, 8, p), trace)
 			if min.Misses > s.Misses {
 				t.Fatalf("trial %d: MIN (%d misses) lost to %s (%d)", trial, min.Misses, p.Name(), s.Misses)

@@ -113,19 +113,31 @@ func (l *Level) ReservedWays() int { return l.resvd }
 
 // Reserve removes the first n ways from demand use (Intel CAT-style way
 // partitioning, used by P-OPT to pin Rereference Matrix columns). Any
-// demand lines currently in reserved ways are invalidated. The policy is
-// re-bound with the new geometry.
-func (l *Level) Reserve(n int) {
+// demand lines currently in reserved ways are invalidated; dirty ones are
+// returned so the caller can write them back (a real CAT repartition
+// flushes displaced dirty lines to the next level — dropping them would
+// silently lose stores). Evicted valid lines count as evictions.
+// The policy is re-bound with the new geometry.
+func (l *Level) Reserve(n int) (dirty []Line) {
 	if n < 0 || n >= l.ways {
 		panic(fmt.Sprintf("cache %s: cannot reserve %d of %d ways", l.Name, n, l.ways))
 	}
 	l.resvd = n
 	for s := 0; s < l.sets; s++ {
 		for w := 0; w < n; w++ {
-			l.lines[s*l.ways+w] = Line{}
+			ln := &l.lines[s*l.ways+w]
+			if ln.Valid {
+				l.Stats.Evictions++
+				if ln.Dirty {
+					dirty = append(dirty, *ln)
+					l.Stats.Writebacks++
+				}
+			}
+			*ln = Line{}
 		}
 	}
 	l.pol.Bind(Geometry{Sets: l.sets, Ways: l.ways, ReservedWays: n})
+	return dirty
 }
 
 // Policy returns the bound replacement policy.

@@ -114,6 +114,64 @@ func TestReserveShrinksCapacity(t *testing.T) {
 	}
 }
 
+func TestReserveReturnsDisplacedDirtyLines(t *testing.T) {
+	l := tinyLevel(NewLRU())
+	// Warm every way of every set; make way 0's line of each set dirty by
+	// writing it first (fills claim ways in order on a cold cache).
+	for s := 0; s < l.Sets(); s++ {
+		wr := write(lineInSet(l, s, 0))
+		l.Access(wr)
+		l.Fill(wr)
+		for i := 1; i < l.Ways(); i++ {
+			a := acc(lineInSet(l, s, i))
+			l.Access(a)
+			l.Fill(a)
+		}
+	}
+	evBefore, wbBefore := l.Stats.Evictions, l.Stats.Writebacks
+	dirty := l.Reserve(2)
+	// Way 0 of each set held a dirty line; way 1 a clean one. Both were
+	// displaced, only the dirty ones must come back.
+	if len(dirty) != l.Sets() {
+		t.Fatalf("Reserve returned %d dirty lines, want %d", len(dirty), l.Sets())
+	}
+	for _, ln := range dirty {
+		if !ln.Valid || !ln.Dirty {
+			t.Fatalf("Reserve returned a non-dirty line: %+v", ln)
+		}
+	}
+	if got := l.Stats.Evictions - evBefore; got != uint64(2*l.Sets()) {
+		t.Fatalf("Reserve counted %d evictions, want %d", got, 2*l.Sets())
+	}
+	if got := l.Stats.Writebacks - wbBefore; got != uint64(l.Sets()) {
+		t.Fatalf("Reserve counted %d writebacks, want %d", got, l.Sets())
+	}
+	// A cold-cache Reserve displaces nothing.
+	if extra := tinyLevel(NewLRU()).Reserve(2); len(extra) != 0 {
+		t.Fatalf("cold Reserve returned %d dirty lines", len(extra))
+	}
+}
+
+func TestHierarchyReserveLLCCountsDRAMWrites(t *testing.T) {
+	h := NewHierarchy(Config{
+		L1Size: 1 << 10, L1Ways: 4,
+		L2Size: 1 << 10, L2Ways: 4,
+		LLCSize: 4 * 4 * mem.LineSize, LLCWays: 4,
+		LLCPolicy: func() Policy { return NewLRU() },
+	})
+	// Dirty one LLC line per set directly (writes through the hierarchy
+	// would land in L1; fill the LLC level itself).
+	for s := 0; s < h.LLC.Sets(); s++ {
+		wr := write(lineInSet(h.LLC, s, 0))
+		h.LLC.Access(wr)
+		h.LLC.Fill(wr)
+	}
+	h.ReserveLLC(1)
+	if h.DRAMWrites != uint64(h.LLC.Sets()) {
+		t.Fatalf("DRAMWrites = %d after ReserveLLC, want %d", h.DRAMWrites, h.LLC.Sets())
+	}
+}
+
 func TestAllPoliciesRespectReservedWays(t *testing.T) {
 	policies := []func() Policy{
 		func() Policy { return NewLRU() },
@@ -128,7 +186,9 @@ func TestAllPoliciesRespectReservedWays(t *testing.T) {
 		func() Policy { return NewGRASP(0, 1<<20, 1<<21) },
 	}
 	for _, mk := range policies {
-		p := mk()
+		// NewCheckedPolicy additionally asserts the full Policy contract
+		// (victim range, lines immutability, callback order) on every call.
+		p := NewCheckedPolicy(mk())
 		t.Run(p.Name(), func(t *testing.T) {
 			l := tinyLevel(p)
 			l.Reserve(2)
@@ -168,7 +228,7 @@ func TestAllPoliciesBasicSanity(t *testing.T) {
 		func() Policy { return NewGRASP(0, 64*mem.LineSize, 128*mem.LineSize) },
 	}
 	for _, mk := range policies {
-		p := mk()
+		p := NewCheckedPolicy(mk())
 		t.Run(p.Name(), func(t *testing.T) {
 			l := NewLevel("S", 16*8*mem.LineSize, 8, p)
 			rng := rand.New(rand.NewSource(99))
@@ -713,8 +773,12 @@ func TestHierarchyInvariants(t *testing.T) {
 
 // TestHitLevelString covers the formatting helper.
 func TestHitLevelString(t *testing.T) {
-	want := map[HitLevel]string{HitL1: "L1", HitL2: "L2", HitLLC: "LLC", HitDRAM: "DRAM"}
-	for lvl, s := range want {
+	want := []struct {
+		lvl HitLevel
+		s   string
+	}{{HitL1, "L1"}, {HitL2, "L2"}, {HitLLC, "LLC"}, {HitDRAM, "DRAM"}}
+	for _, tc := range want {
+		lvl, s := tc.lvl, tc.s
 		if lvl.String() != s {
 			t.Errorf("%d.String() = %q, want %q", lvl, lvl.String(), s)
 		}

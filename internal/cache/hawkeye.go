@@ -122,8 +122,11 @@ func (p *Hawkeye) observe(set int, acc mem.Access) {
 	}
 	s.lastTime[la] = now
 	s.lastPC[la] = acc.PC
-	// Garbage-collect entries older than the window occasionally.
+	// Garbage-collect entries older than the window occasionally. The
+	// iteration order is immaterial: every expired entry is deleted and
+	// no policy state is read or written here.
 	if len(s.lastTime) > 4*int(p.window) {
+		//lint:ordered
 		for a, t := range s.lastTime {
 			if now-t >= p.window {
 				delete(s.lastTime, a)

@@ -140,6 +140,14 @@ func (h *Hierarchy) Access(acc mem.Access) HitLevel {
 	return level
 }
 
+// ReserveLLC partitions n LLC ways away from demand use and writes any
+// displaced dirty lines back to memory, keeping DRAM traffic accounting
+// honest when repartitioning a warm cache.
+func (h *Hierarchy) ReserveLLC(n int) {
+	dirty := h.LLC.Reserve(n)
+	h.DRAMWrites += uint64(len(dirty))
+}
+
 // Prefetch brings the line of acc into the LLC without touching demand
 // statistics (beyond eviction bookkeeping and DRAM traffic). Prefetchers
 // in the literature targeting graph irregular data (IMP, DROPLET) fill at

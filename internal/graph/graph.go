@@ -189,7 +189,11 @@ func (g *Graph) Validate() error {
 	if g.Out.M() != g.In.M() {
 		return fmt.Errorf("graph %s: out has %d edges, in has %d", g.Name, g.Out.M(), g.In.M())
 	}
-	for dir, a := range map[string]*Adj{"out": &g.Out, "in": &g.In} {
+	for _, da := range []struct {
+		dir string
+		a   *Adj
+	}{{"out", &g.Out}, {"in", &g.In}} {
+		dir, a := da.dir, da.a
 		n := a.N()
 		if a.OA[0] != 0 || a.OA[n] != uint64(len(a.NA)) {
 			return fmt.Errorf("graph %s %s: offsets must span [0,%d], got [%d,%d]", g.Name, dir, len(a.NA), a.OA[0], a.OA[n])

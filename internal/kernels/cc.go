@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"fmt"
+	"sort"
 
 	"popt/internal/graph"
 	"popt/internal/mem"
@@ -111,9 +112,16 @@ func NewCC(g *graph.Graph) *Workload {
 			}
 			labels[gc][comp[v]] = true
 		}
-		for gc, ls := range labels {
-			if len(ls) != 1 {
-				return fmt.Errorf("CC: golden component %d carries %d labels (not converged)", gc, len(ls))
+		// Sorted iteration so a non-converged run reports the same
+		// component every time.
+		gcs := make([]int, 0, len(labels))
+		for gc := range labels { //lint:ordered
+			gcs = append(gcs, gc)
+		}
+		sort.Ints(gcs)
+		for _, gc := range gcs {
+			if len(labels[gc]) != 1 {
+				return fmt.Errorf("CC: golden component %d carries %d labels (not converged)", gc, len(labels[gc]))
 			}
 		}
 		return nil

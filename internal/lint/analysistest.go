@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the testdata-driven test harness, mirroring
+// golang.org/x/tools/go/analysis/analysistest: test packages live under
+// testdata/src/<pkg>/, and every line that should produce a finding
+// carries a trailing comment of the form
+//
+//	// want "regexp"
+//	// want "first" "second"        (two findings on one line)
+//
+// RunTest loads the package (resolving imports of sibling testdata
+// packages and the standard library), runs the analyzer, and fails the
+// test on any unmatched expectation or unexpected finding.
+
+// TB is the subset of *testing.T the harness needs (kept as an interface
+// so the harness itself stays testable and testing stays unimported).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// A want payload is one or more patterns, each either "double-quoted"
+// (backslash escapes) or `backtick-quoted` (verbatim), like analysistest.
+var (
+	wantPattern = "(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)"
+	wantRe      = regexp.MustCompile(`// want ((?:` + wantPattern + `\s*)+)$`)
+	wantQuoted  = regexp.MustCompile(wantPattern)
+)
+
+// RunTest runs a on the testdata package at dir/src/<pkg> and checks the
+// findings against the package's // want comments.
+func RunTest(t TB, testdata string, a *Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runTestPkg(t, testdata, a, pkg)
+	}
+}
+
+type testLoader struct {
+	root string
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*types.Package
+}
+
+func (l *testLoader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if dir := filepath.Join(l.root, "src", path); dirExists(dir) {
+		files, _, err := parseTestDir(l.fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{Importer: l}
+		pkg, err := conf.Check(path, l.fset, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+func parseTestDir(fset *token.FileSet, dir string) ([]*ast.File, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	return files, paths, nil
+}
+
+func runTestPkg(t TB, testdata string, a *Analyzer, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	loader := &testLoader{
+		root: testdata,
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs: make(map[string]*types.Package),
+	}
+	dir := filepath.Join(testdata, "src", pkgPath)
+	files, _, err := parseTestDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", dir, err)
+		return
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+		return
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: loader}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", pkgPath, err)
+		return
+	}
+
+	// Collect expectations from // want comments.
+	type expectation struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := make(map[string][]*expectation) // "file:line" -> expectations
+	key := func(pos token.Position) string {
+		return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantQuoted.FindAllString(m[1], -1) {
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want literal %s: %v", key(pos), q, err)
+						return
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key(pos), pattern, err)
+						return
+					}
+					wants[key(pos)] = append(wants[key(pos)], &expectation{re: re, raw: pattern})
+				}
+			}
+		}
+	}
+
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		directives: collectDirectives(fset, files),
+	}
+	var unexpected []string
+	pass.Report = func(d Diagnostic) {
+		pos := fset.Position(d.Pos)
+		for _, exp := range wants[key(pos)] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				return
+			}
+		}
+		unexpected = append(unexpected, fmt.Sprintf("%s: unexpected finding: %s", key(pos), d.Message))
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s on %s: %v", a.Name, pkgPath, err)
+		return
+	}
+	for _, msg := range unexpected {
+		t.Errorf("%s", msg)
+	}
+	var keys []string
+	for k := range wants { //lint:ordered
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, exp := range wants[k] {
+			if !exp.matched {
+				t.Errorf("%s: no finding matched %q", k, exp.raw)
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	// The testdata package "determ" plays the role of a simulation
+	// package, so the analyzer is constructed with it in scope.
+	RunTest(t, "testdata", NewDeterminism("determ"), "determ")
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	// With the default simulator scope the testdata package is exempt:
+	// every // want expectation must go unmatched, which we verify by
+	// swapping in a recording TB.
+	rec := &recordingTB{}
+	RunTest(rec, "testdata", NewDeterminism(SimPackages...), "determ")
+	if rec.fatals != 0 {
+		t.Fatalf("unexpected fatal: %v", rec.msgs)
+	}
+	if rec.errors == 0 {
+		t.Fatalf("expected unmatched // want expectations when determ is out of scope")
+	}
+	for _, m := range rec.msgs {
+		if !strings.Contains(m, "no finding matched") {
+			t.Errorf("unexpected failure kind: %s", m)
+		}
+	}
+}
+
+type recordingTB struct {
+	errors int
+	fatals int
+	msgs   []string
+}
+
+func (r *recordingTB) Helper() {}
+func (r *recordingTB) Errorf(format string, args ...any) {
+	r.errors++
+	r.msgs = append(r.msgs, fmt.Sprintf(format, args...))
+}
+func (r *recordingTB) Fatalf(format string, args ...any) {
+	r.fatals++
+	r.msgs = append(r.msgs, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestPolicyContract(t *testing.T) {
+	RunTest(t, "testdata", PolicyContract, "contract")
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// statsCounters are the cache.Stats fields only internal/cache may write.
+var statsCounters = map[string]bool{
+	"Accesses":   true,
+	"Hits":       true,
+	"Misses":     true,
+	"Evictions":  true,
+	"Writebacks": true,
+}
+
+// StatsDiscipline enforces single-writer statistics: the counters in
+// cache.Stats are maintained exclusively by the cache package (Level,
+// Hierarchy). Any other package incrementing, assigning, or resetting
+// them would skew MPKI/miss-rate results invisibly — experiments read
+// those counters as ground truth. Reading is always fine; accumulation
+// belongs in Stats.Add.
+//
+// The Stats type is matched structurally (a named struct "Stats" declared
+// in a package named "cache"), so the check applies equally to the real
+// internal/cache and to self-contained test fixtures.
+var StatsDiscipline = &Analyzer{
+	Name: "statsdiscipline",
+	Doc: "flags writes to cache.Stats counter fields (and whole-struct " +
+		"Stats overwrites through fields) outside the cache package",
+	Run: runStatsDiscipline,
+}
+
+func runStatsDiscipline(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkStatsWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkStatsWrite(pass, n.X)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkStatsWrite(pass *Pass, lhs ast.Expr) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	// Counter field write: base expression must be a foreign Stats.
+	if statsCounters[sel.Sel.Name] && isForeignStats(pass, s.Recv()) {
+		pass.Reportf(lhs.Pos(),
+			"write to cache.Stats.%s outside the cache package; Level/Hierarchy own these counters (use Stats.Add for aggregation)",
+			sel.Sel.Name)
+		return
+	}
+	// Whole-struct overwrite through a field (e.g. level.Stats = Stats{}).
+	if isForeignStats(pass, s.Type()) {
+		pass.Reportf(lhs.Pos(),
+			"overwriting a cache.Stats field outside the cache package resets counters the simulator owns")
+	}
+}
+
+// isForeignStats reports whether t (possibly behind pointers) is a named
+// struct Stats declared in a package named "cache" other than the one
+// being analyzed.
+func isForeignStats(pass *Pass, t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Stats" {
+		return false
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Name() == "cache" && pkg != pass.Pkg
+}

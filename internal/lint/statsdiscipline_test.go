@@ -1,0 +1,10 @@
+package lint
+
+import "testing"
+
+func TestStatsDiscipline(t *testing.T) {
+	// statsclient imports the fake cache package and must trip the
+	// analyzer; cachefake itself mutates its own counters in-package and
+	// must stay clean (it has no // want comments).
+	RunTest(t, "testdata", StatsDiscipline, "statsclient", "cachefake")
+}

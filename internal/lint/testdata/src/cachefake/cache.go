@@ -1,0 +1,35 @@
+// Package cache (import path "cachefake") replicates the shape of the
+// real internal/cache package for statsdiscipline testing: a named Stats
+// struct inside a package named "cache".
+package cache
+
+// Stats mirrors cache.Stats.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// Add mirrors the sanctioned aggregation API.
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Writebacks += o.Writebacks
+}
+
+// Level owns a Stats, like cache.Level.
+type Level struct{ Stats Stats }
+
+// Access mutates counters in-package: never flagged.
+func (l *Level) Access(hit bool) {
+	l.Stats.Accesses++
+	if hit {
+		l.Stats.Hits++
+	} else {
+		l.Stats.Misses++
+	}
+}

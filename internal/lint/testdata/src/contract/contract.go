@@ -1,0 +1,129 @@
+// Package contract exercises the policycontract analyzer with
+// self-contained replicas of the cache package's contract types.
+package contract
+
+// Line mirrors cache.Line.
+type Line struct {
+	Valid bool
+	Dirty bool
+	Addr  uint64
+}
+
+// Geometry mirrors cache.Geometry.
+type Geometry struct {
+	Sets         int
+	Ways         int
+	ReservedWays int
+}
+
+// Access stands in for mem.Access.
+type Access struct{ Addr uint64 }
+
+// Good is a contract-abiding policy: reads ReservedWays, never touches
+// lines.
+type Good struct{ g Geometry }
+
+func (p *Good) Bind(g Geometry) { p.g = g }
+func (p *Good) Victim(set int, lines []Line, acc Access) int {
+	for w := p.g.ReservedWays; w < p.g.Ways; w++ {
+		if !lines[w].Dirty { // reading lines is fine
+			return w
+		}
+	}
+	return p.g.ReservedWays
+}
+
+// Mutator writes through the lines parameter.
+type Mutator struct{ g Geometry }
+
+func (p *Mutator) Bind(g Geometry) { p.g = g }
+func (p *Mutator) Victim(set int, lines []Line, acc Access) int {
+	lines[0].Dirty = false // want "Victim writes through the lines parameter"
+	lines[1] = Line{}      // want "Victim writes through the lines parameter"
+	return p.g.ReservedWays
+}
+
+// AliasMutator launders the write through a local alias and a re-slice.
+type AliasMutator struct{ g Geometry }
+
+func (p *AliasMutator) Bind(g Geometry) { p.g = g }
+func (p *AliasMutator) Victim(set int, lines []Line, acc Access) int {
+	ls := lines
+	ls[0] = Line{} // want "Victim writes through the lines parameter"
+	sub := lines[1:]
+	sub[0].Valid = false // want "Victim writes through the lines parameter"
+	return p.g.ReservedWays
+}
+
+// Retainer stores the borrowed slice past the call.
+type Retainer struct {
+	g     Geometry
+	saved []Line
+}
+
+func (p *Retainer) Bind(g Geometry) { p.g = g }
+func (p *Retainer) Victim(set int, lines []Line, acc Access) int {
+	p.saved = lines // want "Victim stores the lines parameter"
+	return p.g.ReservedWays
+}
+
+// PtrTaker lets a line pointer escape the read-only borrow.
+type PtrTaker struct{ g Geometry }
+
+func (p *PtrTaker) Bind(g Geometry) { p.g = g }
+func (p *PtrTaker) Victim(set int, lines []Line, acc Access) int {
+	q := &lines[0] // want "Victim takes the address"
+	_ = q
+	return p.g.ReservedWays
+}
+
+// Oblivious never consults ReservedWays anywhere.
+type Oblivious struct{ n int }
+
+func (p *Oblivious) Bind(g Geometry) { p.n = g.Ways } // want "no method reads Geometry.ReservedWays"
+func (p *Oblivious) Victim(set int, lines []Line, acc Access) int {
+	return 0
+}
+
+// base holds shared state; embedders inherit its ReservedWays read.
+type base struct{ g Geometry }
+
+func (b *base) Bind(g Geometry) { b.g = g }
+func (b *base) pick() int       { return b.g.ReservedWays }
+
+// Embedder satisfies the ReservedWays obligation via its embedded base.
+type Embedder struct{ base }
+
+func (p *Embedder) Victim(set int, lines []Line, acc Access) int { return p.pick() }
+
+// Delegator forwards victim selection; the delegate carries the
+// obligation.
+type Delegator struct {
+	inner *Good
+	n     int
+}
+
+func (p *Delegator) Bind(g Geometry) { p.n = g.Ways; p.inner.Bind(g) }
+func (p *Delegator) Victim(set int, lines []Line, acc Access) int {
+	return p.inner.Victim(set, lines, acc)
+}
+
+// NotAPolicy has a Victim-shaped method but no Bind; only the lines
+// checks apply, not the ReservedWays obligation.
+type NotAPolicy struct{}
+
+func (p *NotAPolicy) Victim(set int, lines []Line, acc Access) int {
+	lines[0].Valid = true // want "Victim writes through the lines parameter"
+	return 0
+}
+
+// Allowed shows directive suppression for a deliberate violation (e.g. a
+// test fake built to trip the runtime checker).
+type Allowed struct{ g Geometry }
+
+func (p *Allowed) Bind(g Geometry) { p.g = g }
+func (p *Allowed) Victim(set int, lines []Line, acc Access) int {
+	//lint:allow policycontract
+	lines[0].Valid = true
+	return p.g.ReservedWays
+}

@@ -1,0 +1,60 @@
+// Package determ exercises the determinism analyzer.
+package determ
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var m = map[int]string{1: "a", 2: "b"}
+
+// MapRanges covers flagged and allowlisted map iteration.
+func MapRanges() int {
+	total := 0
+	for k := range m { // want "range over map m iterates in randomized order"
+		total += k
+	}
+	//lint:ordered
+	for k := range m { // order-insensitive: commutative sum, annotated
+		total += k
+	}
+	for k := range m { //lint:ordered same-line directive also works
+		total += k
+	}
+	keys := make([]int, 0, len(m))
+	//lint:ordered
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys { // slice iteration: never flagged
+		total += k
+	}
+	for i := range keys { // index form over slice: never flagged
+		total += i
+	}
+	return total
+}
+
+// GlobalRand covers the math/rand global-source checks.
+func GlobalRand() int {
+	x := rand.Intn(10)                 // want `rand\.Intn draws from the global math/rand source`
+	f := rand.Float64()                // want `rand\.Float64 draws from the global math/rand source`
+	rand.Shuffle(1, func(i, j int) {}) // want `rand\.Shuffle draws from the global math/rand source`
+	return x + int(f)
+}
+
+// SeededRand is the sanctioned pattern: an explicit, seeded generator.
+func SeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are allowed
+	z := rand.NewZipf(rng, 1.5, 1, 100)   // NewZipf consumes the explicit rng
+	return rng.Intn(10) + int(z.Uint64()) // method calls are allowed
+}
+
+// WallClock covers the time.Now check.
+func WallClock() time.Time {
+	d := time.Duration(3) * time.Second // other time uses are fine
+	_ = d
+	return time.Now() // want `time\.Now inside a simulation package`
+}

@@ -1,0 +1,26 @@
+// Package statsclient exercises statsdiscipline from outside the cache
+// package.
+package statsclient
+
+import cache "cachefake"
+
+// Mutate covers flagged counter writes.
+func Mutate(l *cache.Level) {
+	l.Stats.Misses++        // want `write to cache\.Stats\.Misses outside the cache package`
+	l.Stats.Hits = 7        // want `write to cache\.Stats\.Hits outside the cache package`
+	l.Stats.Accesses += 2   // want `write to cache\.Stats\.Accesses outside the cache package`
+	l.Stats = cache.Stats{} // want "overwriting a cache.Stats field outside the cache package"
+}
+
+// Read covers allowed uses: reading, copying, and Add-based aggregation.
+func Read(l *cache.Level) uint64 {
+	var total cache.Stats // a local Stats value is fine to declare
+	total.Add(l.Stats)    // sanctioned aggregation
+	snapshot := l.Stats   // copying out is fine
+	return snapshot.Misses + total.Hits
+}
+
+// Fixture shows directive suppression for test fixtures.
+func Fixture(l *cache.Level) {
+	l.Stats.Misses = 42 //lint:allow statsdiscipline (test fixture)
+}

@@ -88,7 +88,9 @@ func NewMachine(cfg Config, pol cache.Policy, reservedWays int) *Machine {
 		BankMatrix: make([]uint64, cfg.Banks),
 	}
 	if reservedWays > 0 {
-		m.LLC.Reserve(reservedWays)
+		// The LLC is cold here, but keep the traffic accounting honest if
+		// that ever changes: displaced dirty lines go back to DRAM.
+		m.DRAMWrites += uint64(len(m.LLC.Reserve(reservedWays)))
 	}
 	if p, ok := pol.(*core.POPT); ok {
 		m.popt = p

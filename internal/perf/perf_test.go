@@ -37,8 +37,8 @@ func TestModelChargesEachComponent(t *testing.T) {
 		LLC: cache.NewLevel("LLC", 4096, 4, cache.NewLRU()),
 	}
 	h.Instructions = 2000
-	h.L2.Stats.Hits = 140
-	h.LLC.Stats.Hits = 140
+	h.L2.Stats.Hits = 140  //lint:allow statsdiscipline (test fixture)
+	h.LLC.Stats.Hits = 140 //lint:allow statsdiscipline (test fixture)
 	h.DRAMReads = 100
 	h.DRAMWrites = 20
 	p := Default()
