@@ -1,0 +1,22 @@
+// Package hotmod is a miniature module used by the poptlint command
+// tests. Its hot functions are deliberately clean — inlinable, escape
+// free, zero bounds checks — so the tests can regress them one axis at a
+// time and watch the gate fail.
+package hotmod
+
+// Add is trivially inlinable.
+//
+//popt:hot
+func Add(a, b int) int { return a + b }
+
+// Sum walks the slice with a range loop, which the compiler proves in
+// bounds.
+//
+//popt:hot
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

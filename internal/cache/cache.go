@@ -153,6 +153,8 @@ func (l *Level) set(s int) []Line { return l.lines[s*l.ways : (s+1)*l.ways] }
 
 // Lookup probes for the line of acc without updating statistics or
 // replacement state; it reports presence (used by writeback handling).
+//
+//popt:hot
 func (l *Level) Lookup(lineAddr uint64) (set, way int, ok bool) {
 	set = l.SetIndex(lineAddr)
 	ws := l.set(set)
@@ -166,6 +168,8 @@ func (l *Level) Lookup(lineAddr uint64) (set, way int, ok bool) {
 
 // Access performs a demand access. It returns true on hit. On miss the
 // caller is responsible for filling (after resolving lower levels).
+//
+//popt:hot
 func (l *Level) Access(acc mem.Access) bool {
 	l.Stats.Accesses++
 	la := acc.LineAddr()
@@ -184,6 +188,8 @@ func (l *Level) Access(acc mem.Access) bool {
 
 // Fill installs the line of acc, returning the evicted line if a valid one
 // was displaced.
+//
+//popt:hot
 func (l *Level) Fill(acc mem.Access) (evicted Line, wasEvicted bool) {
 	la := acc.LineAddr()
 	set := l.SetIndex(la)
@@ -198,7 +204,7 @@ func (l *Level) Fill(acc mem.Access) (evicted Line, wasEvicted bool) {
 	if way < 0 {
 		way = l.pol.Victim(set, ws, acc)
 		if way < l.resvd || way >= l.ways {
-			panic(fmt.Sprintf("cache %s: policy %s returned invalid victim way %d (reserved=%d ways=%d)", l.Name, l.pol.Name(), way, l.resvd, l.ways))
+			l.badVictim(way)
 		}
 		evicted, wasEvicted = ws[way], true
 		l.Stats.Evictions++
@@ -207,6 +213,17 @@ func (l *Level) Fill(acc mem.Access) (evicted Line, wasEvicted bool) {
 	ws[way] = Line{Valid: true, Dirty: acc.Write, Addr: la, PC: acc.PC}
 	l.pol.OnFill(set, way, acc)
 	return evicted, wasEvicted
+}
+
+// badVictim panics with the invalid-victim message. The panic (and its fmt
+// boxing) lives here rather than in Fill so nothing escapes on Fill's hot
+// path and the hot-path baseline stays escape-free; noinline stops the
+// compiler from folding the boxing back into the caller.
+//
+//go:noinline
+func (l *Level) badVictim(way int) {
+	panic(fmt.Sprintf("cache %s: policy %s returned invalid victim way %d (reserved=%d ways=%d)",
+		l.Name, l.pol.Name(), way, l.resvd, l.ways))
 }
 
 // MarkDirty sets the dirty bit if the line is present, reporting presence.

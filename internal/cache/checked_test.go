@@ -26,7 +26,7 @@ func (f *fakePolicy) OnEvict(set, way int)              {}
 
 func (f *fakePolicy) Victim(set int, lines []Line, a mem.Access) int {
 	if f.mutate != nil {
-		//lint:allow policycontract (deliberately misbehaving test fake)
+		//lint:allow policycontract,borrowflow (deliberately misbehaving test fake)
 		f.mutate(lines)
 	}
 	return f.victim(f.g)

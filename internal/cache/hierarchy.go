@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"strings"
 
 	"popt/internal/mem"
 )
@@ -106,6 +107,8 @@ func NewHierarchy(cfg Config) *Hierarchy {
 
 // Access runs one memory reference through the hierarchy and reports the
 // level that satisfied it.
+//
+//popt:hot
 func (h *Hierarchy) Access(acc mem.Access) HitLevel {
 	if h.L1.Access(acc) {
 		return HitL1
@@ -177,13 +180,15 @@ func (h *Hierarchy) LLCMPKI() float64 {
 // LLCMissRate returns the LLC local miss ratio.
 func (h *Hierarchy) LLCMissRate() float64 { return h.LLC.Stats.MissRate() }
 
-// Summary renders a compact multi-line report of all levels.
+// Summary renders a compact multi-line report of all levels. Formatting
+// lives here, entirely off the access path, and builds the report in a
+// single buffer rather than by string concatenation.
 func (h *Hierarchy) Summary() string {
-	out := ""
+	var out strings.Builder
 	for _, l := range []*Level{h.L1, h.L2, h.LLC} {
-		out += fmt.Sprintf("%-4s accesses=%-12d misses=%-12d missRate=%5.1f%%\n",
+		fmt.Fprintf(&out, "%-4s accesses=%-12d misses=%-12d missRate=%5.1f%%\n",
 			l.Name, l.Stats.Accesses, l.Stats.Misses, 100*l.Stats.MissRate())
 	}
-	out += fmt.Sprintf("DRAM reads=%d writes=%d  LLC MPKI=%.2f\n", h.DRAMReads, h.DRAMWrites, h.LLCMPKI())
-	return out
+	fmt.Fprintf(&out, "DRAM reads=%d writes=%d  LLC MPKI=%.2f\n", h.DRAMReads, h.DRAMWrites, h.LLCMPKI())
+	return out.String()
 }

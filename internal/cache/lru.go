@@ -40,6 +40,8 @@ func (p *LRU) OnFill(set, way int, _ mem.Access) { p.touch(set, way) }
 func (p *LRU) OnEvict(set, way int) {}
 
 // Victim implements Policy: the stalest way.
+//
+//popt:hot
 func (p *LRU) Victim(set int, _ []Line, _ mem.Access) int {
 	base := set * p.g.Ways
 	best, bestTS := p.g.ReservedWays, p.ts[base+p.g.ReservedWays]
@@ -126,6 +128,8 @@ func (p *BitPLRU) OnFill(set, way int, _ mem.Access) { p.touch(set, way) }
 func (p *BitPLRU) OnEvict(int, int) {}
 
 // Victim implements Policy.
+//
+//popt:hot
 func (p *BitPLRU) Victim(set int, _ []Line, _ mem.Access) int {
 	base := set * p.g.Ways
 	for w := p.g.ReservedWays; w < p.g.Ways; w++ {

@@ -30,6 +30,8 @@ func (p *rripBase) Bind(g Geometry) {
 
 // victim finds the first way at distant RRPV, aging the set until one
 // exists.
+//
+//popt:hot
 func (p *rripBase) victim(set int) int {
 	base := set * p.g.Ways
 	for {
@@ -190,4 +192,6 @@ func (p *DRRIP) Victim(set int, _ []Line, _ mem.Access) int { return p.victim(se
 // RRPV exposes a line's re-reference prediction value so higher-level
 // policies (P-OPT, T-OPT) can use DRRIP state to settle next-reference
 // ties, as Section V-C prescribes.
+//
+//popt:hot
 func (p *DRRIP) RRPV(set, way int) uint8 { return p.rrpv[set*p.g.Ways+way] }

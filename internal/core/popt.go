@@ -163,6 +163,8 @@ func (p *POPT) stream(addr uint64) *Stream {
 // (Section V-C). Streaming lines evict first; otherwise every way's
 // quantized next reference comes from the Rereference Matrix (Algorithm 2)
 // and the furthest wins, DRRIP settling ties.
+//
+//popt:hot
 func (p *POPT) Victim(set int, lines []cache.Line, acc mem.Access) int {
 	best, bestDist, tied := -1, -1, false
 	for w := p.g.ReservedWays; w < p.g.Ways; w++ {

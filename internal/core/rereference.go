@@ -213,6 +213,8 @@ func fillEntries(m *Matrix, refAdj *graph.Adj, numVertices int) {
 func (m *Matrix) Entry(line, epoch int) uint16 { return m.entries[line*m.NumEpochs+epoch] }
 
 // EpochOf maps an outer-loop vertex to its epoch.
+//
+//popt:hot
 func (m *Matrix) EpochOf(v graph.V) int {
 	e := int(v) / m.EpochSize
 	if e >= m.NumEpochs {
@@ -225,6 +227,8 @@ func (m *Matrix) EpochOf(v graph.V) int {
 // outer-loop vertex currently being processed, return the distance (in
 // epochs) to the line's next reference. 0 means "again within this epoch";
 // MaxDist()+1 saturates "no known future use".
+//
+//popt:hot
 func (m *Matrix) NextRef(line int, cur graph.V) int {
 	e := m.EpochOf(cur)
 	curr := m.entries[line*m.NumEpochs+e]

@@ -64,14 +64,27 @@ func (s *OracleStream) buildLineRefs() {
 }
 
 // next returns the smallest reference position of line l strictly greater
-// than cur, or ok=false.
+// than cur, or ok=false. The binary search is written out by hand rather
+// than through sort.Search: this runs once per candidate way per LLC
+// eviction, and the closure-based form costs an indirect call per probe
+// and defeats bounds-check elimination on the segment.
+//
+//popt:hot
 func (s *OracleStream) next(l int, cur graph.V) (graph.V, bool) {
 	seg := s.lineRefs[s.lineOA[l]:s.lineOA[l+1]]
-	i := sort.Search(len(seg), func(i int) bool { return seg[i] > cur })
-	if i == len(seg) {
+	lo, hi := 0, len(seg)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if seg[mid] > cur {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == len(seg) {
 		return 0, false
 	}
-	return seg[i], true
+	return seg[lo], true
 }
 
 // TOPT is transpose-based optimal replacement (Section III): at eviction
@@ -133,6 +146,8 @@ func (p *TOPT) stream(addr uint64) *OracleStream {
 
 // nextRef returns the exact distance (in outer-loop vertices) to the next
 // reference of the line at addr within s, or infDist.
+//
+//popt:hot
 func (p *TOPT) nextRef(s *OracleStream, addr uint64) int64 {
 	if next, ok := s.next(s.Arr.LineID(addr), p.cur); ok {
 		return int64(next) - int64(p.cur)
@@ -144,6 +159,8 @@ func (p *TOPT) nextRef(s *OracleStream, addr uint64) int64 {
 // prefer any way holding streaming (non-irregular) data; otherwise evict
 // the irregular line referenced furthest in the future, breaking ties with
 // DRRIP.
+//
+//popt:hot
 func (p *TOPT) Victim(set int, lines []cache.Line, acc mem.Access) int {
 	best, bestDist, tied := -1, int64(-1), false
 	for w := p.g.ReservedWays; w < p.g.Ways; w++ {

@@ -36,23 +36,39 @@ func (a *Adj) N() int { return len(a.OA) - 1 }
 func (a *Adj) M() int { return len(a.NA) }
 
 // Degree returns the number of neighbors of v.
+//
+//popt:hot
 func (a *Adj) Degree(v V) int { return int(a.OA[v+1] - a.OA[v]) }
 
 // Neighs returns the (sorted) neighbor slice of v. The slice aliases the
 // underlying NA storage and must not be modified.
+//
+//popt:hot
 func (a *Adj) Neighs(v V) []V { return a.NA[a.OA[v]:a.OA[v+1]] }
 
 // NextAfter returns the smallest neighbor of v that is strictly greater
 // than cur, and ok=false if no such neighbor exists. In a pull execution
 // that is the outer-loop iteration at which srcData[v] is next referenced;
-// it is the primitive on which T-OPT is built.
+// it is the primitive on which T-OPT is built. The binary search is hand
+// rolled: sort.Search's closure costs an indirect call per probe on what
+// is a per-eviction-candidate operation.
+//
+//popt:hot
 func (a *Adj) NextAfter(v V, cur V) (next V, ok bool) {
 	ns := a.Neighs(v)
-	i := sort.Search(len(ns), func(i int) bool { return ns[i] > cur })
-	if i == len(ns) {
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ns[mid] > cur {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == len(ns) {
 		return 0, false
 	}
-	return ns[i], true
+	return ns[lo], true
 }
 
 // Graph is an immutable directed graph stored in both traversal directions.

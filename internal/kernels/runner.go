@@ -91,6 +91,8 @@ func NewRunner(h *cache.Hierarchy, hook core.VertexIndexed) *Runner {
 }
 
 // SetVertex reports the outer-loop vertex currently being processed.
+//
+//popt:hot
 func (r *Runner) SetVertex(v graph.V) {
 	if r.Hook != nil && !r.muted {
 		r.Hook.UpdateIndex(v)
@@ -126,6 +128,9 @@ func (r *Runner) StartIteration() {
 	}
 }
 
+// access forwards one reference to the hierarchy, charging an instruction.
+//
+//popt:hot
 func (r *Runner) access(acc mem.Access) {
 	if r.H == nil || r.muted {
 		return
@@ -138,6 +143,8 @@ func (r *Runner) access(acc mem.Access) {
 }
 
 // Load issues a read of element i of a.
+//
+//popt:hot
 func (r *Runner) Load(a *mem.Array, i int, pc uint16) {
 	if r.H == nil || r.muted {
 		return
@@ -146,6 +153,8 @@ func (r *Runner) Load(a *mem.Array, i int, pc uint16) {
 }
 
 // Store issues a write of element i of a.
+//
+//popt:hot
 func (r *Runner) Store(a *mem.Array, i int, pc uint16) {
 	if r.H == nil || r.muted {
 		return
@@ -154,6 +163,8 @@ func (r *Runner) Store(a *mem.Array, i int, pc uint16) {
 }
 
 // Tick accounts n non-memory instructions.
+//
+//popt:hot
 func (r *Runner) Tick(n uint64) {
 	if r.H != nil && !r.muted {
 		r.H.Instructions += n

@@ -16,6 +16,8 @@ var SimPackages = []string{
 	"popt/internal/core",
 	"popt/internal/kernels",
 	"popt/internal/graph",
+	"popt/internal/mem",
+	"popt/internal/perf",
 	"popt/internal/sched",
 	"popt/internal/multicore",
 }

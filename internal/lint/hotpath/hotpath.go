@@ -1,0 +1,583 @@
+// Package hotpath is the compiler-diagnostics half of the poptlint
+// performance gate. Functions annotated with a `//popt:hot` directive in
+// their doc comment are the simulator's hot paths: the inner loops of
+// Level.Access, Policy.Victim, Rereference Matrix lookups, and kernel
+// traversals that the P-OPT paper's "practical" claim rests on. For those
+// functions this package asks the real Go compiler what it proved —
+// escape analysis (`-m`), bounds-check elimination
+// (`-d=ssa/check_bce/debug=1`), and inlining — and distills the
+// diagnostics into a stable set of Facts that is diffed against a
+// checked-in baseline.
+//
+// The contract: any *new* heap escape, lost inline, or extra bounds check
+// inside a hot function is a regression and fails the gate. Improvements
+// (an escape removed, a bounds check eliminated) also show up in the diff
+// so the baseline is regenerated deliberately (`poptlint -hotpath
+// -update`) and stays an exact record, never a stale lower bound.
+//
+// Facts are keyed by package, function, and normalized message — never by
+// line number — so editing unrelated code in the same file does not churn
+// the baseline.
+package hotpath
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Directive is the doc-comment annotation that marks a hot function.
+const Directive = "//popt:hot"
+
+// GCFlags are the compiler flags whose diagnostics the harness parses.
+const GCFlags = "-m -d=ssa/check_bce/debug=1"
+
+// Fact kinds. A hot function always carries exactly one "inline" fact and
+// one "bounds" fact; it carries one "escape" fact per heap allocation the
+// compiler reports inside it (duplicates kept: two allocations with the
+// same shape are two facts).
+const (
+	KindInline = "inline" // detail: "ok" or "no"
+	KindBounds = "bounds" // detail: decimal count of distinct bounds checks
+	KindEscape = "escape" // detail: normalized compiler message
+)
+
+// Fact is one performance-relevant compiler observation attributed to a
+// //popt:hot function.
+type Fact struct {
+	Pkg    string // import path
+	Func   string // compiler-style name: Foo, (*T).M, or T.M
+	Kind   string // KindInline, KindBounds, or KindEscape
+	Detail string // see the Kind constants
+
+	// Note carries extra context for diff messages (e.g. the compiler's
+	// cannot-inline reason, or source positions of bounds checks). It is
+	// not serialized into baselines and not compared.
+	Note string
+}
+
+// key is the identity under which facts are compared and serialized.
+func (f Fact) key() string {
+	return f.Pkg + "\t" + f.Func + "\t" + f.Kind + "\t" + f.Detail
+}
+
+// Function is one discovered //popt:hot function.
+type Function struct {
+	Pkg       string // import path
+	Name      string // compiler-style name
+	File      string // absolute path
+	StartLine int
+	EndLine   int
+}
+
+// Report is the result of one Collect run.
+type Report struct {
+	Functions []Function
+	Facts     []Fact
+}
+
+// Options configures Collect.
+type Options struct {
+	// Dir is the module root the go tool runs in ("" = current directory).
+	Dir string
+	// Patterns are the package patterns scanned for //popt:hot functions
+	// (default: ./...).
+	Patterns []string
+}
+
+// listedPackage is the subset of `go list -json` output Collect needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// Collect discovers the //popt:hot functions under opts.Patterns, compiles
+// their packages with GCFlags, and returns the attributed facts. The
+// returned facts are sorted and deterministic.
+func Collect(opts Options) (*Report, error) {
+	patterns := opts.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(opts.Dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var funcs []Function
+	hotPkgs := make(map[string]bool)
+	for _, p := range pkgs {
+		for _, name := range p.GoFiles {
+			path := filepath.Join(p.Dir, name)
+			fns, err := hotFuncsInFile(fset, path, p.ImportPath)
+			if err != nil {
+				return nil, err
+			}
+			if len(fns) > 0 {
+				hotPkgs[p.ImportPath] = true
+				funcs = append(funcs, fns...)
+			}
+		}
+	}
+	sort.Slice(funcs, func(i, j int) bool {
+		if funcs[i].Pkg != funcs[j].Pkg {
+			return funcs[i].Pkg < funcs[j].Pkg
+		}
+		return funcs[i].Name < funcs[j].Name
+	})
+	report := &Report{Functions: funcs}
+	if len(funcs) == 0 {
+		return report, nil
+	}
+
+	var buildPkgs []string
+	for p := range hotPkgs { //lint:ordered
+		buildPkgs = append(buildPkgs, p)
+	}
+	sort.Strings(buildPkgs)
+	diags, err := compileDiagnostics(opts.Dir, buildPkgs)
+	if err != nil {
+		return nil, err
+	}
+	report.Facts = attribute(funcs, diags, opts.Dir)
+	return report, nil
+}
+
+// goList shells out for package metadata.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// hotFuncsInFile parses one file and returns its //popt:hot functions.
+func hotFuncsInFile(fset *token.FileSet, path, pkg string) ([]Function, error) {
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []Function
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || !isHot(fd.Doc) {
+			continue
+		}
+		out = append(out, Function{
+			Pkg:       pkg,
+			Name:      compilerName(fd),
+			File:      path,
+			StartLine: fset.Position(fd.Pos()).Line,
+			EndLine:   fset.Position(fd.End()).Line,
+		})
+	}
+	return out, nil
+}
+
+// isHot reports whether a doc comment carries the //popt:hot directive.
+func isHot(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == Directive || strings.HasPrefix(text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// compilerName renders the function name the way gc diagnostics spell it.
+func compilerName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	star := false
+	if se, ok := recv.(*ast.StarExpr); ok {
+		star = true
+		recv = se.X
+	}
+	// Strip type parameters of a generic receiver.
+	if ix, ok := recv.(*ast.IndexExpr); ok {
+		recv = ix.X
+	}
+	base := "?"
+	if id, ok := recv.(*ast.Ident); ok {
+		base = id.Name
+	}
+	if star {
+		return "(*" + base + ")." + fd.Name.Name
+	}
+	return base + "." + fd.Name.Name
+}
+
+// diagnostic is one parsed compiler message.
+type diagnostic struct {
+	File      string // as printed (possibly relative to the build dir)
+	Line, Col int
+	Msg       string
+}
+
+var diagRe = regexp.MustCompile(`^(.+?):(\d+):(\d+): (.*)$`)
+
+// compileDiagnostics builds pkgs with GCFlags and parses the diagnostic
+// stream. The go build cache replays compiler output, so repeated runs are
+// cheap and still produce diagnostics.
+func compileDiagnostics(dir string, pkgs []string) ([]diagnostic, error) {
+	args := append([]string{"build", "-gcflags=" + GCFlags}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	var diags []diagnostic
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		m := diagRe.FindStringSubmatch(line)
+		if m == nil {
+			continue // "# pkg" headers, blank lines
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		diags = append(diags, diagnostic{File: m[1], Line: ln, Col: col, Msg: m[4]})
+	}
+	if err != nil {
+		// A failed build means the diagnostics are incomplete; surface the
+		// compiler error rather than a misleading baseline diff.
+		return nil, fmt.Errorf("go build -gcflags=%q %s: %v\n%s", GCFlags, strings.Join(pkgs, " "), err, out)
+	}
+	return diags, nil
+}
+
+var (
+	canInlineRe    = regexp.MustCompile(`^can inline (\S+)`)
+	cannotInlineRe = regexp.MustCompile(`^cannot inline (\S+): (.*)$`)
+)
+
+// attribute maps raw diagnostics onto the hot functions and distills the
+// Fact set.
+func attribute(funcs []Function, diags []diagnostic, dir string) []Fact {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		absDir = dir
+	}
+	// Index hot functions by file for range attribution and by (file,
+	// name) for inline attribution.
+	byFile := make(map[string][]*hotState)
+	states := make([]*hotState, len(funcs))
+	for i := range funcs {
+		st := &hotState{fn: funcs[i]}
+		states[i] = st
+		byFile[funcs[i].File] = append(byFile[funcs[i].File], st)
+	}
+	boundsSeen := make(map[string]bool) // dedupe repeated BCE reports at one position
+	for _, d := range diags {
+		path := d.File
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(absDir, path)
+		}
+		hosts := byFile[path]
+		if hosts == nil {
+			continue
+		}
+		if m := canInlineRe.FindStringSubmatch(d.Msg); m != nil {
+			for _, st := range hosts {
+				if st.fn.Name == m[1] {
+					st.inlineOK = true
+				}
+			}
+			continue
+		}
+		if m := cannotInlineRe.FindStringSubmatch(d.Msg); m != nil {
+			for _, st := range hosts {
+				if st.fn.Name == m[1] {
+					st.inlineReason = m[2]
+				}
+			}
+			continue
+		}
+		for _, st := range hosts {
+			if d.Line < st.fn.StartLine || d.Line > st.fn.EndLine {
+				continue
+			}
+			switch {
+			case d.Msg == "Found IsInBounds" || d.Msg == "Found IsSliceInBounds":
+				key := fmt.Sprintf("%s:%d:%d", path, d.Line, d.Col)
+				if !boundsSeen[key] {
+					boundsSeen[key] = true
+					st.bounds++
+					st.boundsAt = append(st.boundsAt, fmt.Sprintf("%s:%d:%d", filepath.Base(path), d.Line, d.Col))
+				}
+			case isEscapeMsg(d.Msg):
+				st.escapes = append(st.escapes, d.Msg)
+			}
+		}
+	}
+	var facts []Fact
+	for _, st := range states {
+		fn := st.fn
+		inlineDetail, note := "no", st.inlineReason
+		if st.inlineOK {
+			inlineDetail, note = "ok", ""
+		}
+		facts = append(facts, Fact{Pkg: fn.Pkg, Func: fn.Name, Kind: KindInline, Detail: inlineDetail, Note: note})
+		facts = append(facts, Fact{Pkg: fn.Pkg, Func: fn.Name, Kind: KindBounds,
+			Detail: strconv.Itoa(st.bounds), Note: strings.Join(st.boundsAt, " ")})
+		sort.Strings(st.escapes)
+		for _, msg := range st.escapes {
+			facts = append(facts, Fact{Pkg: fn.Pkg, Func: fn.Name, Kind: KindEscape, Detail: msg})
+		}
+	}
+	SortFacts(facts)
+	return facts
+}
+
+// hotState accumulates diagnostics for one hot function.
+type hotState struct {
+	fn           Function
+	inlineOK     bool
+	inlineReason string
+	bounds       int
+	boundsAt     []string
+	escapes      []string
+}
+
+// isEscapeMsg reports whether a -m message describes a heap allocation.
+// "does not escape" and parameter-leak notes are informational, not
+// allocations.
+func isEscapeMsg(msg string) bool {
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	return strings.HasSuffix(msg, "escapes to heap") ||
+		strings.Contains(msg, "escapes to heap:") ||
+		strings.HasPrefix(msg, "moved to heap:")
+}
+
+// SortFacts sorts facts into baseline order.
+func SortFacts(facts []Fact) {
+	sort.Slice(facts, func(i, j int) bool { return facts[i].key() < facts[j].key() })
+}
+
+// FormatBaseline renders facts as the checked-in baseline file.
+func FormatBaseline(facts []Fact) string {
+	var b strings.Builder
+	b.WriteString("# poptlint hot-path baseline: compiler facts for every //popt:hot function.\n")
+	b.WriteString("# One line per fact: <package>\t<function>\t<kind>\t<detail>.\n")
+	b.WriteString("# Regenerate deliberately with: go run ./cmd/poptlint -hotpath -update\n")
+	sorted := append([]Fact(nil), facts...)
+	SortFacts(sorted)
+	for _, f := range sorted {
+		b.WriteString(f.key())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ParseBaseline reads a baseline produced by FormatBaseline.
+func ParseBaseline(r io.Reader) ([]Fact, error) {
+	var facts []Fact
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("baseline line %d: want 4 tab-separated fields, got %d", lineNo, len(parts))
+		}
+		facts = append(facts, Fact{Pkg: parts[0], Func: parts[1], Kind: parts[2], Detail: parts[3]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return facts, nil
+}
+
+// ReadBaselineFile loads a baseline from disk.
+func ReadBaselineFile(path string) ([]Fact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseBaseline(f)
+}
+
+// WriteBaselineFile writes facts to path, creating parent directories.
+func WriteBaselineFile(path string, facts []Fact) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(FormatBaseline(facts)), 0o644)
+}
+
+// DiffLine is one human-readable baseline divergence.
+type DiffLine struct {
+	// Regression is true for changes that make a hot path slower (new
+	// escape, lost inline, more bounds checks) and false for improvements
+	// and baseline drift — either way the baseline must be regenerated.
+	Regression bool
+	Msg        string
+}
+
+func (d DiffLine) String() string {
+	if d.Regression {
+		return "regression: " + d.Msg
+	}
+	return "baseline-drift: " + d.Msg
+}
+
+// Diff compares the current facts against the baseline, per hot function.
+// An empty result means the tree matches the baseline exactly. Any
+// non-empty result fails the gate: regressions must be fixed, drift
+// (improvements, added/removed hot functions) must be captured with
+// -update so the baseline never goes stale.
+func Diff(baseline, current []Fact) []DiffLine {
+	type funcKey struct{ pkg, fn string }
+	type funcFacts struct {
+		inline  string
+		bounds  int
+		escapes map[string]int
+		note    map[string]string // kind -> note (current side only)
+	}
+	gather := func(facts []Fact) map[funcKey]*funcFacts {
+		out := make(map[funcKey]*funcFacts)
+		for _, f := range facts {
+			k := funcKey{f.Pkg, f.Func}
+			ff := out[k]
+			if ff == nil {
+				ff = &funcFacts{escapes: make(map[string]int), note: make(map[string]string)}
+				out[k] = ff
+			}
+			switch f.Kind {
+			case KindInline:
+				ff.inline = f.Detail
+			case KindBounds:
+				ff.bounds, _ = strconv.Atoi(f.Detail)
+			case KindEscape:
+				ff.escapes[f.Detail]++
+			}
+			if f.Note != "" {
+				ff.note[f.Kind] = f.Note
+			}
+		}
+		return out
+	}
+	base, cur := gather(baseline), gather(current)
+
+	var keys []funcKey
+	seen := make(map[funcKey]bool)
+	for k := range base { //lint:ordered
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for k := range cur { //lint:ordered
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pkg != keys[j].pkg {
+			return keys[i].pkg < keys[j].pkg
+		}
+		return keys[i].fn < keys[j].fn
+	})
+
+	var out []DiffLine
+	for _, k := range keys {
+		name := k.pkg + "." + k.fn
+		b, c := base[k], cur[k]
+		switch {
+		case b == nil:
+			out = append(out, DiffLine{false, fmt.Sprintf("%s: hot function not in baseline (new annotation?); run -update", name)})
+			continue
+		case c == nil:
+			out = append(out, DiffLine{false, fmt.Sprintf("%s: in baseline but no longer annotated //popt:hot; run -update", name)})
+			continue
+		}
+		if b.inline != c.inline {
+			if b.inline == "ok" {
+				msg := fmt.Sprintf("%s: lost inlining (was inlinable, now is not)", name)
+				if r := c.note[KindInline]; r != "" {
+					msg += ": " + r
+				}
+				out = append(out, DiffLine{true, msg})
+			} else {
+				out = append(out, DiffLine{false, fmt.Sprintf("%s: newly inlinable; run -update to capture the improvement", name)})
+			}
+		}
+		if b.bounds != c.bounds {
+			msg := fmt.Sprintf("%s: bounds checks %d -> %d", name, b.bounds, c.bounds)
+			if at := c.note[KindBounds]; at != "" {
+				msg += " (now at " + at + ")"
+			}
+			if c.bounds > b.bounds {
+				out = append(out, DiffLine{true, msg})
+			} else {
+				out = append(out, DiffLine{false, msg + "; run -update to capture the improvement"})
+			}
+		}
+		msgs := make(map[string]bool)
+		for m := range b.escapes { //lint:ordered
+			msgs[m] = true
+		}
+		for m := range c.escapes { //lint:ordered
+			msgs[m] = true
+		}
+		var sortedMsgs []string
+		for m := range msgs { //lint:ordered
+			sortedMsgs = append(sortedMsgs, m)
+		}
+		sort.Strings(sortedMsgs)
+		for _, m := range sortedMsgs {
+			nb, nc := b.escapes[m], c.escapes[m]
+			switch {
+			case nc > nb:
+				out = append(out, DiffLine{true, fmt.Sprintf("%s: new heap escape (%d -> %d): %s", name, nb, nc, m)})
+			case nc < nb:
+				out = append(out, DiffLine{false, fmt.Sprintf("%s: heap escape removed (%d -> %d): %s; run -update to capture the improvement", name, nb, nc, m)})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package hotpath
+
+import (
+	"strings"
+	"testing"
+)
+
+func fact(pkg, fn, kind, detail string) Fact {
+	return Fact{Pkg: pkg, Func: fn, Kind: kind, Detail: detail}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	facts := []Fact{
+		fact("popt/internal/cache", "(*Level).Fill", KindInline, "no"),
+		fact("popt/internal/cache", "(*Level).Fill", KindBounds, "4"),
+		fact("popt/internal/mem", "Access.LineAddr", KindInline, "ok"),
+		fact("popt/internal/mem", "(*Array).Addr", KindEscape, "i escapes to heap"),
+	}
+	// Notes must not survive serialization: they carry positions, which
+	// would churn the baseline on unrelated edits.
+	facts[1].Note = "cache.go:204:13"
+	got, err := ParseBaseline(strings.NewReader(FormatBaseline(facts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortFacts(facts)
+	if len(got) != len(facts) {
+		t.Fatalf("round trip: %d facts, want %d", len(got), len(facts))
+	}
+	for i := range got {
+		want := facts[i]
+		want.Note = ""
+		if got[i] != want {
+			t.Errorf("fact %d: got %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestParseBaselineRejectsMalformedLine(t *testing.T) {
+	if _, err := ParseBaseline(strings.NewReader("a\tb\tc\n")); err == nil {
+		t.Fatal("3-field line parsed without error")
+	}
+}
+
+func TestDiffEmptyOnIdenticalFacts(t *testing.T) {
+	facts := []Fact{
+		fact("p", "F", KindInline, "ok"),
+		fact("p", "F", KindBounds, "2"),
+		fact("p", "G", KindInline, "no"),
+		fact("p", "G", KindBounds, "0"),
+		fact("p", "G", KindEscape, "x escapes to heap"),
+	}
+	if d := Diff(facts, facts); len(d) != 0 {
+		t.Fatalf("identical facts diff non-empty: %v", d)
+	}
+}
+
+func TestDiffClassifiesRegressionsAndDrift(t *testing.T) {
+	base := []Fact{
+		fact("p", "F", KindInline, "ok"),
+		fact("p", "F", KindBounds, "1"),
+		fact("p", "G", KindInline, "no"),
+		fact("p", "G", KindBounds, "3"),
+		fact("p", "G", KindEscape, "x escapes to heap"),
+	}
+	cur := []Fact{
+		// F: lost inlining (regression), extra bounds check (regression),
+		// new escape (regression).
+		fact("p", "F", KindInline, "no"),
+		fact("p", "F", KindBounds, "2"),
+		fact("p", "F", KindEscape, "y escapes to heap"),
+		// G: newly inlinable, fewer bounds checks, escape removed — all
+		// drift, still gate-failing until -update.
+		fact("p", "G", KindInline, "ok"),
+		fact("p", "G", KindBounds, "0"),
+		// H: newly annotated (drift).
+		fact("p", "H", KindInline, "ok"),
+		fact("p", "H", KindBounds, "0"),
+	}
+	diff := Diff(base, cur)
+	var regressions, drift []string
+	for _, d := range diff {
+		if d.Regression {
+			regressions = append(regressions, d.Msg)
+		} else {
+			drift = append(drift, d.Msg)
+		}
+	}
+	wantRegression := []string{"lost inlining", "bounds checks 1 -> 2", "new heap escape"}
+	if len(regressions) != len(wantRegression) {
+		t.Fatalf("got %d regressions %v, want %d", len(regressions), regressions, len(wantRegression))
+	}
+	for i, want := range wantRegression {
+		if !strings.Contains(regressions[i], want) {
+			t.Errorf("regression %d = %q, want it to mention %q", i, regressions[i], want)
+		}
+	}
+	wantDrift := []string{"newly inlinable", "bounds checks 3 -> 0", "heap escape removed", "not in baseline"}
+	if len(drift) != len(wantDrift) {
+		t.Fatalf("got %d drift lines %v, want %d", len(drift), drift, len(wantDrift))
+	}
+	for _, want := range wantDrift {
+		found := false
+		for _, msg := range drift {
+			if strings.Contains(msg, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no drift line mentions %q in %v", want, drift)
+		}
+	}
+}
+
+func TestDiffCountsDuplicateEscapes(t *testing.T) {
+	esc := fact("p", "F", KindEscape, "make([]int, n) escapes to heap")
+	base := []Fact{fact("p", "F", KindInline, "no"), fact("p", "F", KindBounds, "0"), esc}
+	cur := append(append([]Fact(nil), base...), esc)
+	diff := Diff(base, cur)
+	if len(diff) != 1 || !diff[0].Regression || !strings.Contains(diff[0].Msg, "(1 -> 2)") {
+		t.Fatalf("second identical escape not flagged as regression: %v", diff)
+	}
+}
+
+func TestDiffLineString(t *testing.T) {
+	if got := (DiffLine{true, "x"}).String(); got != "regression: x" {
+		t.Errorf("regression line = %q", got)
+	}
+	if got := (DiffLine{false, "x"}).String(); got != "baseline-drift: x" {
+		t.Errorf("drift line = %q", got)
+	}
+}

@@ -1,0 +1,240 @@
+// Package borrow exercises the borrowflow analyzer: dataflow tracking of
+// the borrowed lines slice through locals, helpers, embedding, closures,
+// and goroutines.
+package borrow
+
+type Line struct {
+	Valid bool
+	Dirty bool
+	Addr  uint64
+}
+
+type Geometry struct {
+	Sets, Ways, ReservedWays int
+}
+
+type Access struct{ Addr uint64 }
+
+// --- delegation through a helper that retains (policycontract misses) ---
+
+type Keeper struct {
+	g     Geometry
+	saved []Line
+}
+
+func (k *Keeper) Bind(g Geometry) { k.g = g }
+
+func (k *Keeper) stash(ls []Line) { k.saved = ls }
+
+func (k *Keeper) Victim(set int, lines []Line, acc Access) int {
+	k.stash(lines) // want `passes the borrowed lines slice to stash, which retains it beyond the call`
+	return k.g.ReservedWays
+}
+
+// --- embedding: the retaining helper lives on an embedded type ---------
+
+type stashBase struct {
+	kept []Line
+}
+
+func (s *stashBase) keep(ls []Line) { s.kept = ls }
+
+type Embedder struct {
+	stashBase
+	g Geometry
+}
+
+func (e *Embedder) Bind(g Geometry) { e.g = g }
+
+func (e *Embedder) Victim(set int, lines []Line, acc Access) int {
+	e.keep(lines) // want `passes the borrowed lines slice to keep, which retains it beyond the call`
+	return e.g.ReservedWays
+}
+
+// --- helper that writes through its parameter --------------------------
+
+type Scrubber struct {
+	g Geometry
+}
+
+func (s *Scrubber) Bind(g Geometry) { s.g = g }
+
+func scrub(ls []Line) {
+	for i := range ls {
+		ls[i].Dirty = false
+	}
+}
+
+func (s *Scrubber) Victim(set int, lines []Line, acc Access) int {
+	scrub(lines) // want `passes the borrowed lines slice to scrub, which writes through it`
+	return s.g.ReservedWays
+}
+
+// --- helper returning an alias that is then retained --------------------
+
+type Identity struct {
+	g    Geometry
+	held []Line
+}
+
+func (p *Identity) Bind(g Geometry) { p.g = g }
+
+func tail(ls []Line) []Line { return ls[1:] }
+
+func (p *Identity) Victim(set int, lines []Line, acc Access) int {
+	t := tail(lines)
+	p.held = t // want `stores an alias of the borrowed lines slice in p.held`
+	return p.g.ReservedWays
+}
+
+// --- reaching-definitions kill: rebound alias is clean ------------------
+
+type Killer struct {
+	g    Geometry
+	held []Line
+}
+
+func (p *Killer) Bind(g Geometry) { p.g = g }
+
+func (p *Killer) Victim(set int, lines []Line, acc Access) int {
+	x := lines
+	x = nil
+	p.held = x // clean: x was rebound before the store
+	return p.g.ReservedWays
+}
+
+// --- direct writes through chained local aliases ------------------------
+
+type ChainWriter struct {
+	g Geometry
+}
+
+func (p *ChainWriter) Bind(g Geometry) { p.g = g }
+
+func (p *ChainWriter) Victim(set int, lines []Line, acc Access) int {
+	a := lines[p.g.ReservedWays:]
+	b := a
+	b[0].Dirty = true // want `writes the borrowed lines storage through b`
+	return p.g.ReservedWays
+}
+
+// --- append and copy into the borrow ------------------------------------
+
+type Appender struct {
+	g Geometry
+}
+
+func (p *Appender) Bind(g Geometry) { p.g = g }
+
+func (p *Appender) Victim(set int, lines []Line, acc Access) int {
+	_ = append(lines[:0], Line{}) // want `appends to the borrowed lines slice`
+	scratch := make([]Line, len(lines))
+	copy(scratch, lines) // clean: reading the borrow out is fine
+	copy(lines, scratch) // want `copies into the borrowed lines slice`
+	return p.g.ReservedWays
+}
+
+// --- closure capture stored on the policy -------------------------------
+
+type Closer struct {
+	g  Geometry
+	cb func() int
+}
+
+func (p *Closer) Bind(g Geometry) { p.g = g }
+
+func (p *Closer) Victim(set int, lines []Line, acc Access) int {
+	p.cb = func() int { return len(lines) } // want `stores an alias of the borrowed lines slice in p.cb`
+	return p.g.ReservedWays
+}
+
+// --- goroutine escape ----------------------------------------------------
+
+type GoRunner struct {
+	g Geometry
+}
+
+func (p *GoRunner) Bind(g Geometry) { p.g = g }
+
+func (p *GoRunner) Victim(set int, lines []Line, acc Access) int {
+	go func() { // want `hands an alias of the borrowed lines slice to a goroutine`
+		for i := range lines {
+			_ = lines[i].Addr
+		}
+	}()
+	return p.g.ReservedWays
+}
+
+// --- package-level retention ---------------------------------------------
+
+var leaked []Line
+
+type GlobalLeaker struct {
+	g Geometry
+}
+
+func (p *GlobalLeaker) Bind(g Geometry) { p.g = g }
+
+func (p *GlobalLeaker) Victim(set int, lines []Line, acc Access) int {
+	leaked = lines // want `stores an alias of the borrowed lines slice in package variable leaked`
+	return p.g.ReservedWays
+}
+
+// --- interface delegation transfers the obligation (clean) ---------------
+
+type Policy interface {
+	Victim(set int, lines []Line, acc Access) int
+}
+
+type Delegator struct {
+	g     Geometry
+	inner Policy
+}
+
+func (p *Delegator) Bind(g Geometry) { p.g = g }
+
+func (p *Delegator) Victim(set int, lines []Line, acc Access) int {
+	return p.inner.Victim(set, lines, acc) // clean: the delegate inherits the borrow contract
+}
+
+// --- value reads and copies are clean ------------------------------------
+
+type Reader struct {
+	g    Geometry
+	last uint64
+}
+
+func (p *Reader) Bind(g Geometry) { p.g = g }
+
+func degree(ls []Line) int { return len(ls) } // reads only: clean helper
+
+func (p *Reader) Victim(set int, lines []Line, acc Access) int {
+	best := p.g.ReservedWays
+	for w := p.g.ReservedWays; w < p.g.Ways; w++ {
+		ln := lines[w] // value copy, safe
+		if !ln.Dirty {
+			best = w
+		}
+	}
+	p.last = lines[best].Addr // scalar copy out of the borrow, safe
+	_ = degree(lines)
+	return best
+}
+
+// --- helper chains: retention two hops away ------------------------------
+
+type DeepKeeper struct {
+	g    Geometry
+	pile [][]Line
+}
+
+func (p *DeepKeeper) Bind(g Geometry) { p.g = g }
+
+func (p *DeepKeeper) hoard(ls []Line) { p.pile = append(p.pile, ls) }
+
+func (p *DeepKeeper) relay(ls []Line) { p.hoard(ls) }
+
+func (p *DeepKeeper) Victim(set int, lines []Line, acc Access) int {
+	p.relay(lines) // want `passes the borrowed lines slice to relay, which retains it beyond the call`
+	return p.g.ReservedWays
+}

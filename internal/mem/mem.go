@@ -27,6 +27,8 @@ type Access struct {
 }
 
 // LineAddr returns the address of the cache line containing a.
+//
+//popt:hot
 func (a Access) LineAddr() uint64 { return a.Addr &^ (LineSize - 1) }
 
 // Array is a contiguous region of the simulated address space.
@@ -46,11 +48,23 @@ type Array struct {
 // Addr returns the byte address of element i. Sub-byte elements (bit
 // vectors) return the address of the byte containing the bit, which is what
 // the cache sees.
+//
+//popt:hot
 func (a *Array) Addr(i int) uint64 {
 	if i < 0 || i >= a.Len {
-		panic(fmt.Sprintf("mem: %s[%d] out of range [0,%d)", a.Name, i, a.Len))
+		a.badIndex(i)
 	}
 	return a.Base + uint64(i)*a.ElemBits/8
+}
+
+// badIndex panics with the out-of-range message. The panic (and its fmt
+// boxing) lives here rather than in Addr so nothing escapes on Addr's hot
+// path and the hot-path baseline stays escape-free; noinline stops the
+// compiler from folding the boxing back into the caller.
+//
+//go:noinline
+func (a *Array) badIndex(i int) {
+	panic(fmt.Sprintf("mem: %s[%d] out of range [0,%d)", a.Name, i, a.Len))
 }
 
 // SizeBytes returns the footprint of the array, rounded up to whole bytes.
@@ -64,10 +78,14 @@ func (a *Array) Bound() uint64 { return a.Base + a.SizeBytes() }
 
 // Contains reports whether addr falls inside the array, i.e. the
 // irreg_base/irreg_bound register comparison from the paper.
+//
+//popt:hot
 func (a *Array) Contains(addr uint64) bool { return addr >= a.Base && addr < a.Bound() }
 
 // LineID returns the 0-based cache line index of addr within the array:
 // cachelineID = (addr - irreg_base) >> 6 in the paper's next-ref engine.
+//
+//popt:hot
 func (a *Array) LineID(addr uint64) int { return int((addr - a.Base) >> LineShift) }
 
 // ElemsPerLine returns how many elements share one cache line.
