@@ -126,7 +126,7 @@ func BenchmarkAblationTieBreak(b *testing.B) {
 	g := graph.Uniform(1<<14, 8<<14, 5)
 	run := func(b *testing.B, tieFirst bool) {
 		c := bench.TinyConfig()
-		s := bench.Setup{Name: "P-OPT", Make: func(w *kernels.Workload, cfg cache.Config) (cache.Policy, core.VertexIndexed, int) {
+		s := bench.Setup{Name: "P-OPT", Make: func(_ bench.Config, w *kernels.Workload, cfg cache.Config) (cache.Policy, core.VertexIndexed, int) {
 			p := core.BuildPOPT(w.RefAdj, w.G.NumVertices(), core.InterIntra, 4, w.Irregular...)
 			p.TieFirst = tieFirst
 			return p, p, p.ReservedWays(cfg.LLCSize / (cfg.LLCWays * 64))

@@ -22,6 +22,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	list := flag.Bool("list", false, "list experiments and exit")
 	format := flag.String("format", "table", "output format: table or csv")
+	workers := flag.Int("j", 0, "sweep worker count: 0 = GOMAXPROCS, 1 = serial (output is identical at any count)")
+	progress := flag.Bool("progress", false, "report per-cell completion and timing on stderr")
 	flag.Parse()
 
 	if *list {
@@ -33,6 +35,12 @@ func main() {
 
 	cfg := bench.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Workers = *workers
+	if *progress {
+		cfg.Progress = func(ev bench.CellEvent) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)\n", ev.Done, ev.Total, ev.Key, ev.Elapsed.Round(time.Microsecond))
+		}
+	}
 	switch *scale {
 	case "tiny":
 		cfg.Scale = graph.ScaleTiny

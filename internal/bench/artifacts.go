@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"sync"
+
+	"popt/internal/core"
+	"popt/internal/graph"
+	"popt/internal/mem"
+)
+
+// Shared-artifact memoization for sweeps. Every P-OPT cell on the same
+// (transpose, encoding, bits) rebuilds the same Rereference Matrix, and
+// every T-OPT cell the same merged transpose — Table IV puts matrix
+// construction alone at ~20% of a PageRank run, so at sweep scale the
+// rebuilds dominate. An artifact cache keyed by the immutable inputs
+// builds each product once and hands every cell a cheap per-run view
+// (core.Table → core.Matrix, core.LineRefs shared directly); suite graphs
+// are memoized one level down in package graph. Correctness rests on two
+// invariants the tests pin with checksums: cached products are never
+// written after construction, and a cached build is bit-identical to a
+// fresh one.
+//
+// The cache is per-Config (each experiment driver installs its own via
+// withArtifacts), not process-global: fig11 and friends generate
+// throwaway graphs per call, and a global cache keyed by their adjacency
+// pointers would pin them forever. Paths that *measure* build cost
+// (Table4, poptsim, direct core.BuildPOPT callers) have a nil cache and
+// build fresh, unchanged.
+
+type artifacts struct {
+	mu     sync.Mutex
+	tables map[tableKey]*tableEntry
+	lrs    map[lrKey]*lrEntry
+}
+
+// tableKey identifies one immutable Rereference Matrix table. The
+// adjacency pointer is the graph identity: suite graphs are memoized, so
+// the same input yields the same pointer for every cell of a sweep.
+type tableKey struct {
+	adj  *graph.Adj
+	nv   int
+	epl  int
+	kind core.Kind
+	bits uint
+}
+
+type lrKey struct {
+	adj *graph.Adj
+	epl int
+}
+
+// Entries carry a per-key once so a thundering herd of cells needing the
+// same table at sweep start builds it exactly once without serializing
+// builds of *different* tables behind one lock.
+type tableEntry struct {
+	once sync.Once
+	t    *core.Table
+}
+
+type lrEntry struct {
+	once sync.Once
+	lr   *core.LineRefs
+}
+
+func newArtifacts() *artifacts {
+	return &artifacts{tables: make(map[tableKey]*tableEntry), lrs: make(map[lrKey]*lrEntry)}
+}
+
+// table returns the memoized Rereference Matrix table for the key,
+// building it on first use.
+func (a *artifacts) table(k tableKey) *core.Table {
+	a.mu.Lock()
+	e := a.tables[k]
+	if e == nil {
+		e = new(tableEntry)
+		a.tables[k] = e
+	}
+	a.mu.Unlock()
+	e.once.Do(func() { e.t = core.BuildTable(k.adj, k.nv, k.epl, k.kind, k.bits) })
+	return e.t
+}
+
+// lineRefs returns the memoized merged transpose for the key.
+func (a *artifacts) lineRefs(k lrKey) *core.LineRefs {
+	a.mu.Lock()
+	e := a.lrs[k]
+	if e == nil {
+		e = new(lrEntry)
+		a.lrs[k] = e
+	}
+	a.mu.Unlock()
+	e.once.Do(func() { e.lr = core.BuildLineRefs(k.adj, k.epl) })
+	return e.lr
+}
+
+// withArtifacts returns a copy of c carrying a fresh artifact cache;
+// drivers call it once per experiment so all cells of the sweep share
+// builds.
+func (c Config) withArtifacts() Config {
+	c.arts = newArtifacts()
+	return c
+}
+
+// buildPOPT mirrors core.BuildPOPT — one Rereference Matrix per distinct
+// elements-per-line, shared across the arrays (Section V-F) — but pulls
+// tables from the artifact cache when one is installed, so concurrent
+// cells share the encoded entries and differ only in their per-run Matrix
+// views.
+func (c Config) buildPOPT(refAdj *graph.Adj, numVertices int, kind core.Kind, bits uint, arrs ...*mem.Array) *core.POPT {
+	if c.arts == nil {
+		return core.BuildPOPT(refAdj, numVertices, kind, bits, arrs...)
+	}
+	streams := make([]core.Stream, len(arrs))
+	byEPL := make(map[int]*core.Matrix)
+	for i, arr := range arrs {
+		epl := arr.ElemsPerLine()
+		m := byEPL[epl]
+		if m == nil {
+			m = c.arts.table(tableKey{adj: refAdj, nv: numVertices, epl: epl, kind: kind, bits: bits}).NewMatrix()
+			byEPL[epl] = m
+		}
+		streams[i] = core.Stream{Arr: arr, M: m}
+	}
+	return core.NewPOPT(streams...)
+}
+
+// buildTOPT mirrors core.BuildTOPT with memoized merged transposes.
+func (c Config) buildTOPT(refAdj *graph.Adj, arrs ...*mem.Array) *core.TOPT {
+	if c.arts == nil {
+		return core.BuildTOPT(refAdj, arrs...)
+	}
+	streams := make([]core.OracleStream, len(arrs))
+	for i, arr := range arrs {
+		streams[i] = core.OracleStream{
+			Arr: arr,
+			Ref: refAdj,
+			LR:  c.arts.lineRefs(lrKey{adj: refAdj, epl: arr.ElemsPerLine()}),
+		}
+	}
+	return core.NewTOPT(streams...)
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"popt/internal/cache"
 	"popt/internal/core"
@@ -28,6 +29,17 @@ type Config struct {
 	// panicking on Policy-contract violations. Costs one lines-snapshot
 	// per eviction; meant for tests and -check runs, not large sweeps.
 	CheckPolicies bool
+	// Workers bounds the sweep engine's cell parallelism: 0 means
+	// GOMAXPROCS, 1 forces serial execution. Reports are byte-identical
+	// at every worker count; see sweep.go.
+	Workers int
+	// Progress, when non-nil, receives one event per completed sweep
+	// cell (poptbench -progress wires it to stderr).
+	Progress func(CellEvent)
+	// arts memoizes immutable build products (Rereference Matrix tables,
+	// merged transposes) across the cells of one experiment; nil means
+	// build fresh per cell. Installed by withArtifacts.
+	arts *artifacts
 }
 
 // DefaultConfig is the standard experiment configuration.
@@ -135,8 +147,9 @@ type Experiment struct {
 	Run   func(c Config) *Report
 }
 
-// Registry returns every experiment, sorted by ID.
-func Registry() []Experiment {
+// registry builds the sorted experiment list exactly once; Registry and
+// ByID used to rebuild (and re-sort) it per call.
+var registry = sync.OnceValue(func() []Experiment {
 	exps := []Experiment{
 		{"fig2", "LLC MPKI across state-of-the-art policies (PageRank)", Fig2},
 		{"fig4", "T-OPT vs. state-of-the-art policies (PageRank MPKI)", Fig4},
@@ -156,16 +169,30 @@ func Registry() []Experiment {
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps
+})
+
+// byID indexes the registry for O(1) lookup.
+var byID = sync.OnceValue(func() map[string]Experiment {
+	m := make(map[string]Experiment, len(registry()))
+	for _, e := range registry() {
+		m[e.ID] = e
+	}
+	return m
+})
+
+// Registry returns every experiment, sorted by ID. The returned slice is
+// a copy; callers may reorder it.
+func Registry() []Experiment {
+	exps := registry()
+	out := make([]Experiment, len(exps))
+	copy(out, exps)
+	return out
 }
 
 // ByID finds an experiment.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range Registry() {
-		if e.ID == id {
-			return e, true
-		}
-	}
-	return Experiment{}, false
+	e, ok := byID()[id]
+	return e, ok
 }
 
 // Result captures one simulated run for reporting.
@@ -198,13 +225,16 @@ type Setup struct {
 	Name string
 	// Make builds the LLC policy for workload w under the given cache
 	// configuration; it returns the policy, the update_index hook (nil if
-	// unused), and the number of reserved ways.
-	Make func(w *kernels.Workload, cfg cache.Config) (cache.Policy, core.VertexIndexed, int)
+	// unused), and the number of reserved ways. The Config carries the
+	// run context — in particular the sweep's artifact cache, which lets
+	// P-OPT/T-OPT setups reuse memoized Rereference Matrix tables and
+	// merged transposes instead of rebuilding them per cell.
+	Make func(c Config, w *kernels.Workload, cfg cache.Config) (cache.Policy, core.VertexIndexed, int)
 }
 
 // Plain wraps a workload-independent policy constructor.
 func Plain(name string, mk func() cache.Policy) Setup {
-	return Setup{Name: name, Make: func(*kernels.Workload, cache.Config) (cache.Policy, core.VertexIndexed, int) {
+	return Setup{Name: name, Make: func(Config, *kernels.Workload, cache.Config) (cache.Policy, core.VertexIndexed, int) {
 		return mk(), nil, 0
 	}}
 }
@@ -220,8 +250,8 @@ func HawkeyeSetup() Setup { return Plain("Hawkeye", func() cache.Policy { return
 
 // TOPTSetup builds the idealized transpose oracle.
 func TOPTSetup() Setup {
-	return Setup{Name: "T-OPT", Make: func(w *kernels.Workload, _ cache.Config) (cache.Policy, core.VertexIndexed, int) {
-		p := core.BuildTOPT(w.RefAdj, w.Irregular...)
+	return Setup{Name: "T-OPT", Make: func(c Config, w *kernels.Workload, _ cache.Config) (cache.Policy, core.VertexIndexed, int) {
+		p := c.buildTOPT(w.RefAdj, w.Irregular...)
 		return p, p, 0
 	}}
 }
@@ -240,8 +270,8 @@ func POPTSetup(kind core.Kind, bits uint, chargeWays bool) Setup {
 	if bits != 8 {
 		name = fmt.Sprintf("%s-%db", name, bits)
 	}
-	return Setup{Name: name, Make: func(w *kernels.Workload, cfg cache.Config) (cache.Policy, core.VertexIndexed, int) {
-		p := core.BuildPOPT(w.RefAdj, w.G.NumVertices(), kind, bits, w.Irregular...)
+	return Setup{Name: name, Make: func(c Config, w *kernels.Workload, cfg cache.Config) (cache.Policy, core.VertexIndexed, int) {
+		p := c.buildPOPT(w.RefAdj, w.G.NumVertices(), kind, bits, w.Irregular...)
 		reserve := 0
 		if chargeWays {
 			reserve = p.ReservedWays(cfg.LLCSize / (cfg.LLCWays * 64))
@@ -256,7 +286,7 @@ func POPTSetup(kind core.Kind, bits uint, chargeWays bool) Setup {
 func RunWorkload(c Config, w *kernels.Workload, s Setup) Result {
 	var pol cache.Policy
 	cfg := c.cacheConfig(func() cache.Policy { return pol })
-	rawPol, hook, reserve := s.Make(w, cfg)
+	rawPol, hook, reserve := s.Make(c, w, cfg)
 	pol = rawPol
 	if c.CheckPolicies {
 		// Wrap only the Policy seat: optional hook interfaces (epoch

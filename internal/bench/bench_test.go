@@ -110,7 +110,7 @@ func TestPOPTSetupNames(t *testing.T) {
 		"P-OPT-4b":         POPTSetup(core.InterIntra, 4, false),
 		"P-OPT-16b":        POPTSetup(core.InterIntra, 16, false),
 	}
-	for want, s := range cases {
+	for want, s := range cases { //lint:ordered (independent name assertions)
 		if s.Name != want {
 			t.Errorf("setup name = %q, want %q", s.Name, want)
 		}

@@ -13,18 +13,23 @@ import (
 // SHiP-PC, SHiP-Mem and Hawkeye. The paper's finding: none substantially
 // beats LRU; miss rates sit at 60-70%.
 func Fig2(c Config) *Report {
+	c = c.withArtifacts()
 	setups := []Setup{LRUSetup(), DRRIPSetup(), SHiPPCSetup(), SHiPMemSetup(), HawkeyeSetup()}
 	rep := &Report{
 		ID: "fig2", Title: "LLC MPKI across state-of-the-art policies (PageRank); lower is better",
 		Notes:  []string{"Paper: all policies land within a few percent of LRU, 60-70% miss rates."},
 		Header: append([]string{"graph"}, setupNames(setups)...),
 	}
+	suite := c.Suite()
+	results := sweepGrid(c, "fig2", suite, setups, func(g *graph.Graph, s Setup) Result {
+		return RunWorkload(c, kernels.NewPageRank(g), s)
+	})
 	missRates := &Report{Header: rep.Header}
-	for _, g := range c.Suite() {
+	for gi, g := range suite {
 		row := []string{g.Name}
 		mrRow := []string{g.Name}
-		for _, s := range setups {
-			res := RunWorkload(c, kernels.NewPageRank(g), s)
+		for si := range setups {
+			res := results[gi][si]
 			row = append(row, f2(res.MPKI()))
 			mrRow = append(mrRow, fmt.Sprintf("%.0f%%", 100*res.H.LLCMissRate()))
 		}
@@ -38,21 +43,46 @@ func Fig2(c Config) *Report {
 	return rep
 }
 
+// sweepGrid fans the (graph × setup) cross-product — the shape shared by
+// fig2, fig4, and the base+setups drivers — across the sweep pool. Each
+// cell writes only its own [gi][si] slot, so assembly in enumeration order
+// is byte-identical to the serial loops at any worker count.
+func sweepGrid(c Config, id string, suite []*graph.Graph, setups []Setup, run func(*graph.Graph, Setup) Result) [][]Result {
+	results := make([][]Result, len(suite))
+	cells := make([]Cell, 0, len(suite)*len(setups))
+	for gi, g := range suite {
+		results[gi] = make([]Result, len(setups))
+		for si, s := range setups {
+			cells = append(cells, Cell{
+				Key: id + "/" + g.Name + "/" + s.Name,
+				Run: func() { results[gi][si] = run(g, s) },
+			})
+		}
+	}
+	c.runCells(cells)
+	return results
+}
+
 // Fig4 reproduces Figure 4: adding the idealized T-OPT to the Figure 2
 // lineup. The paper reports T-OPT cutting misses 1.67x on average vs LRU.
 func Fig4(c Config) *Report {
+	c = c.withArtifacts()
 	setups := []Setup{LRUSetup(), DRRIPSetup(), SHiPPCSetup(), SHiPMemSetup(), HawkeyeSetup(), TOPTSetup()}
 	rep := &Report{
 		ID: "fig4", Title: "T-OPT vs state-of-the-art policies, PageRank LLC MPKI; lower is better",
 		Notes:  []string{"Paper: T-OPT reduces misses 1.67x on average vs LRU (41% vs 60-70% miss rate)."},
 		Header: append([]string{"graph"}, append(setupNames(setups), "LRU/T-OPT")...),
 	}
+	suite := c.Suite()
+	results := sweepGrid(c, "fig4", suite, setups, func(g *graph.Graph, s Setup) Result {
+		return RunWorkload(c, kernels.NewPageRank(g), s)
+	})
 	var ratioSum float64
-	for _, g := range c.Suite() {
+	for gi, g := range suite {
 		row := []string{g.Name}
 		var lruM, toptM uint64
-		for _, s := range setups {
-			res := RunWorkload(c, kernels.NewPageRank(g), s)
+		for si, s := range setups {
+			res := results[gi][si]
 			row = append(row, f2(res.MPKI()))
 			switch s.Name {
 			case "LRU":
@@ -66,7 +96,7 @@ func Fig4(c Config) *Report {
 		row = append(row, fmt.Sprintf("%.2fx", ratio))
 		rep.AddRow(row...)
 	}
-	rep.Notes = append(rep.Notes, fmt.Sprintf("Mean LRU/T-OPT miss ratio: %.2fx", ratioSum/float64(len(c.Suite()))))
+	rep.Notes = append(rep.Notes, fmt.Sprintf("Mean LRU/T-OPT miss ratio: %.2fx", ratioSum/float64(len(suite))))
 	return rep
 }
 
@@ -75,6 +105,7 @@ func Fig4(c Config) *Report {
 // ways ARE charged for the P-OPT variants (that is Figure 7's point:
 // spending LLC on metadata still wins).
 func Fig7(c Config) *Report {
+	c = c.withArtifacts()
 	setups := []Setup{
 		POPTSetup(core.InterOnly, 8, true),
 		POPTSetup(core.InterIntra, 8, true),
@@ -85,12 +116,16 @@ func Fig7(c Config) *Report {
 		Notes:  []string{"Paper: inter+intra closely tracks the zero-overhead T-OPT; inter-only trails."},
 		Header: append([]string{"graph"}, setupNames(setups)...),
 	}
-	for _, g := range c.Suite() {
-		base := RunWorkload(c, kernels.NewPageRank(g), DRRIPSetup())
+	suite := c.Suite()
+	withBase := append([]Setup{DRRIPSetup()}, setups...)
+	results := sweepGrid(c, "fig7", suite, withBase, func(g *graph.Graph, s Setup) Result {
+		return RunWorkload(c, kernels.NewPageRank(g), s)
+	})
+	for gi, g := range suite {
+		base := results[gi][0]
 		row := []string{g.Name}
-		for _, s := range setups {
-			res := RunWorkload(c, kernels.NewPageRank(g), s)
-			row = append(row, pct(MissReduction(base, res)))
+		for si := range setups {
+			row = append(row, pct(MissReduction(base, results[gi][si+1])))
 		}
 		rep.AddRow(row...)
 	}
@@ -101,6 +136,7 @@ func Fig7(c Config) *Report {
 // limit-case (no reserved-way cost), with replacement tie rates. The paper
 // reports tie rates of ~41%, ~12% and ~0%.
 func Fig15(c Config) *Report {
+	c = c.withArtifacts()
 	setups := []Setup{
 		POPTSetup(core.InterIntra, 4, false),
 		POPTSetup(core.InterIntra, 8, false),
@@ -112,13 +148,18 @@ func Fig15(c Config) *Report {
 		Notes:  []string{"Paper: 8-bit closely approximates T-OPT; tie rates ~41%/12%/0% for 4/8/16 bits."},
 		Header: append([]string{"graph"}, append(setupNames(setups), "ties(4b)", "ties(8b)", "ties(16b)")...),
 	}
+	suite := c.Suite()
+	withBase := append([]Setup{DRRIPSetup()}, setups...)
+	results := sweepGrid(c, "fig15", suite, withBase, func(g *graph.Graph, s Setup) Result {
+		return RunWorkload(c, kernels.NewPageRank(g), s)
+	})
 	var tieSums [3]float64
-	for _, g := range c.Suite() {
-		base := RunWorkload(c, kernels.NewPageRank(g), DRRIPSetup())
+	for gi, g := range suite {
+		base := results[gi][0]
 		row := []string{g.Name}
 		var ties []string
 		for i, s := range setups {
-			res := RunWorkload(c, kernels.NewPageRank(g), s)
+			res := results[gi][i+1]
 			row = append(row, pct(MissReduction(base, res)))
 			if s.Name != "T-OPT" {
 				ties = append(ties, fmt.Sprintf("%.0f%%", 100*res.TieRate))
@@ -127,7 +168,7 @@ func Fig15(c Config) *Report {
 		}
 		rep.AddRow(append(row, ties...)...)
 	}
-	n := float64(len(c.Suite()))
+	n := float64(len(suite))
 	rep.Notes = append(rep.Notes, fmt.Sprintf("Mean tie rates: 4b=%.0f%% 8b=%.0f%% 16b=%.0f%%",
 		100*tieSums[0]/n, 100*tieSums[1]/n, 100*tieSums[2]/n))
 	return rep
@@ -136,6 +177,7 @@ func Fig15(c Config) *Report {
 // Fig16 reproduces Figure 16: P-OPT's miss reduction over DRRIP as LLC
 // capacity and associativity scale. The paper: the benefit grows with both.
 func Fig16(c Config) *Report {
+	c = c.withArtifacts()
 	rep := &Report{
 		ID: "fig16", Title: "Sensitivity to LLC size and associativity: P-OPT miss reduction over DRRIP (PageRank)",
 		Notes:  []string{"Paper: larger LLCs shrink the metadata fraction; more ways give P-OPT more candidates."},
@@ -158,8 +200,12 @@ func Fig16(c Config) *Report {
 	// Sensitivity sweeps use two contrasting graphs to bound runtime.
 	suite := c.Suite()
 	graphs := []*graph.Graph{suite[0], suite[3]} // power-law and uniform
-	for _, g := range graphs {
-		for _, v := range variants {
+	type cellOut struct{ base, popt Result }
+	results := make([][]cellOut, len(graphs))
+	var cells []Cell
+	for gi, g := range graphs {
+		results[gi] = make([]cellOut, len(variants))
+		for vi, v := range variants {
 			vc := c
 			size, ways := v.size, v.ways
 			vc.Cache = func(llc func() cache.Policy) cache.Config {
@@ -167,9 +213,22 @@ func Fig16(c Config) *Report {
 				cfg.LLCSize, cfg.LLCWays = size, ways
 				return cfg
 			}
-			baseRes := RunWorkload(vc, kernels.NewPageRank(g), DRRIPSetup())
-			poptRes := RunWorkload(vc, kernels.NewPageRank(g), POPTSetup(core.InterIntra, 8, true))
-			rep.AddRow(g.Name, v.label, fmt.Sprintf("%d/%d", poptRes.Reserved, ways), pct(MissReduction(baseRes, poptRes)))
+			cells = append(cells, Cell{
+				Key: "fig16/" + g.Name + "/" + v.label,
+				Run: func() {
+					results[gi][vi] = cellOut{
+						base: RunWorkload(vc, kernels.NewPageRank(g), DRRIPSetup()),
+						popt: RunWorkload(vc, kernels.NewPageRank(g), POPTSetup(core.InterIntra, 8, true)),
+					}
+				},
+			})
+		}
+	}
+	c.runCells(cells)
+	for gi, g := range graphs {
+		for vi, v := range variants {
+			out := results[gi][vi]
+			rep.AddRow(g.Name, v.label, fmt.Sprintf("%d/%d", out.popt.Reserved, v.ways), pct(MissReduction(out.base, out.popt)))
 		}
 	}
 	return rep

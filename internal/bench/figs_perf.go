@@ -14,6 +14,7 @@ import (
 // applications and all inputs. The paper reports P-OPT at +22% speedup and
 // -24% misses vs DRRIP on average (+33%/-35% vs LRU), within 12% of T-OPT.
 func Fig10(c Config) *Report {
+	c = c.withArtifacts()
 	rep := &Report{
 		ID: "fig10", Title: "Speedups and LLC miss reductions vs LRU",
 		Notes: []string{
@@ -29,27 +30,62 @@ func Fig10(c Config) *Report {
 		speedSum, missSum float64
 		n                 int
 	}
-	aggs := make([]agg, len(setups))
-	for _, b := range kernels.All() {
-		for _, g := range c.Suite() {
+	// One cell per (kernel, graph): the cell runs the LRU baseline, decides
+	// the skip (its note text must land in serial enumeration order), and on
+	// non-skip runs the three setups against that baseline.
+	type cellOut struct {
+		skipped bool
+		lru     Result
+		res     [3]Result
+	}
+	benches := kernels.All()
+	suite := c.Suite()
+	results := make([][]cellOut, len(benches))
+	var cells []Cell
+	for bi, b := range benches {
+		results[bi] = make([]cellOut, len(suite))
+		for gi, g := range suite {
 			if b.Name == "Radii" && isMesh(g) {
 				continue
 			}
-			lru := RunWorkload(c, b.New(g), LRUSetup())
-			if lru.H.LLC.Stats.Accesses < 1000 {
-				// Direction switching never produced a dense pull round on
-				// this input (the paper skips Radii on HBUBL for the same
-				// reason); nothing was simulated.
+			cells = append(cells, Cell{
+				Key: "fig10/" + b.Name + "/" + g.Name,
+				Run: func() {
+					out := &results[bi][gi]
+					out.lru = RunWorkload(c, b.New(g), LRUSetup())
+					if out.lru.H.LLC.Stats.Accesses < 1000 {
+						// Direction switching never produced a dense pull
+						// round on this input (the paper skips Radii on HBUBL
+						// for the same reason); nothing was simulated.
+						out.skipped = true
+						return
+					}
+					for i, s := range setups {
+						out.res[i] = RunWorkload(c, b.New(g), s)
+					}
+				},
+			})
+		}
+	}
+	c.runCells(cells)
+	aggs := make([]agg, len(setups))
+	for bi, b := range benches {
+		for gi, g := range suite {
+			if b.Name == "Radii" && isMesh(g) {
+				continue
+			}
+			out := results[bi][gi]
+			if out.skipped {
 				rep.Notes = append(rep.Notes, fmt.Sprintf("%s on %s skipped: no dense pull iterations", b.Name, g.Name))
 				continue
 			}
-			lruCycles := lru.Breakdown()
+			lruCycles := out.lru.Breakdown()
 			row := []string{b.Name, g.Name}
 			var speeds, misses []string
-			for i, s := range setups {
-				res := RunWorkload(c, b.New(g), s)
+			for i := range setups {
+				res := out.res[i]
 				sp := perf.Speedup(lruCycles, res.Breakdown())
-				mr := MissReduction(lru, res)
+				mr := MissReduction(out.lru, res)
 				speeds = append(speeds, fmt.Sprintf("%.2fx", sp))
 				misses = append(misses, pct(mr))
 				aggs[i].speedSum += sp
@@ -85,14 +121,34 @@ func Fig11(c Config) *Report {
 	default:
 		sizes = []int{1 << 15, 1 << 16, 1 << 17, 1 << 18, 1 << 19}
 	}
-	for _, n := range sizes {
-		g := graph.Uniform(n, 4*n, c.Seed)
-		base := RunWorkload(c, kernels.NewPageRank(g), DRRIPSetup())
-		popt := RunWorkload(c, kernels.NewPageRank(g), POPTSetup(core.InterIntra, 8, true))
-		se := RunWorkload(c, kernels.NewPageRank(g), POPTSetup(core.SingleEpoch, 8, true))
-		rep.AddRow(g.Name, fmt.Sprintf("%d", n),
-			fmt.Sprintf("%d", popt.Reserved), pct(MissReduction(base, popt)),
-			fmt.Sprintf("%d", se.Reserved), pct(MissReduction(base, se)))
+	// One cell per size: the generated graph is private to its cell (the
+	// artifact cache would otherwise pin every throwaway size forever).
+	type cellOut struct {
+		name           string
+		base, popt, se Result
+	}
+	results := make([]cellOut, len(sizes))
+	cells := make([]Cell, len(sizes))
+	for i, n := range sizes {
+		cells[i] = Cell{
+			Key: fmt.Sprintf("fig11/n=%d", n),
+			Run: func() {
+				g := graph.Uniform(n, 4*n, c.Seed)
+				results[i] = cellOut{
+					name: g.Name,
+					base: RunWorkload(c, kernels.NewPageRank(g), DRRIPSetup()),
+					popt: RunWorkload(c, kernels.NewPageRank(g), POPTSetup(core.InterIntra, 8, true)),
+					se:   RunWorkload(c, kernels.NewPageRank(g), POPTSetup(core.SingleEpoch, 8, true)),
+				}
+			},
+		}
+	}
+	c.runCells(cells)
+	for i, n := range sizes {
+		out := results[i]
+		rep.AddRow(out.name, fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", out.popt.Reserved), pct(MissReduction(out.base, out.popt)),
+			fmt.Sprintf("%d", out.se.Reserved), pct(MissReduction(out.base, out.se)))
 	}
 	return rep
 }

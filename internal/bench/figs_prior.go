@@ -16,7 +16,7 @@ import (
 // the LLC and the warm region to another half, following GRASP's pinned /
 // intermediate region split.
 func GRASPSetup() Setup {
-	return Setup{Name: "GRASP", Make: func(w *kernels.Workload, cfg cache.Config) (cache.Policy, core.VertexIndexed, int) {
+	return Setup{Name: "GRASP", Make: func(_ Config, w *kernels.Workload, cfg cache.Config) (cache.Policy, core.VertexIndexed, int) {
 		arr := w.Irregular[0]
 		hot := uint64(cfg.LLCSize) / 2
 		if hot > arr.SizeBytes() {
@@ -41,13 +41,33 @@ func Fig12a(c Config) *Report {
 		Notes:  []string{"All runs, including the DRRIP baseline, use DBG-reordered inputs (GRASP's requirement)."},
 		Header: append([]string{"graph"}, setupNames(setups)...),
 	}
-	for _, g0 := range c.Suite() {
-		g := graph.DBG(g0).Apply(g0)
-		base := RunWorkload(c, kernels.NewPageRank(g), DRRIPSetup())
+	// One cell per graph: the DBG reorder is preprocessing the cell owns,
+	// and its output graph stays private to the cell's four runs.
+	suite := c.Suite()
+	type cellOut struct {
+		base Result
+		res  []Result
+	}
+	results := make([]cellOut, len(suite))
+	cells := make([]Cell, len(suite))
+	for gi, g0 := range suite {
+		cells[gi] = Cell{
+			Key: "fig12a/" + g0.Name,
+			Run: func() {
+				g := graph.DBG(g0).Apply(g0)
+				out := &results[gi]
+				out.base = RunWorkload(c, kernels.NewPageRank(g), DRRIPSetup())
+				for _, s := range setups {
+					out.res = append(out.res, RunWorkload(c, kernels.NewPageRank(g), s))
+				}
+			},
+		}
+	}
+	c.runCells(cells)
+	for gi, g0 := range suite {
 		row := []string{g0.Name}
-		for _, s := range setups {
-			res := RunWorkload(c, kernels.NewPageRank(g), s)
-			row = append(row, pct(MissReduction(base, res)))
+		for _, res := range results[gi].res {
+			row = append(row, pct(MissReduction(results[gi].base, res)))
 		}
 		rep.AddRow(row...)
 	}
@@ -77,13 +97,29 @@ func Fig12b(c Config) *Report {
 	// HATS's showcase input: community structure invisible to the ID order.
 	hidden := graph.Scramble(suite[1], c.Seed+99)
 	hidden.Name = "UK-hidden"
-	for _, g := range append(suite, hidden) {
-		base := RunWorkload(c, kernels.NewPageRank(g), DRRIPSetup())
-		order := sched.BDFSOrder(g, 16)
-		bdfs := RunWorkload(c, kernels.NewPageRankOrdered(g, order), DRRIPSetup())
-		popt := RunWorkload(c, kernels.NewPageRank(g), POPTSetup(core.InterIntra, 8, true))
-		topt := RunWorkload(c, kernels.NewPageRank(g), TOPTSetup())
-		rep.AddRow(g.Name, pct(MissReduction(base, bdfs)), pct(MissReduction(base, popt)), pct(MissReduction(base, topt)))
+	graphs := append(suite, hidden)
+	// One cell per graph, BDFS-order preprocessing included.
+	type cellOut struct{ base, bdfs, popt, topt Result }
+	results := make([]cellOut, len(graphs))
+	cells := make([]Cell, len(graphs))
+	for gi, g := range graphs {
+		cells[gi] = Cell{
+			Key: "fig12b/" + g.Name,
+			Run: func() {
+				order := sched.BDFSOrder(g, 16)
+				results[gi] = cellOut{
+					base: RunWorkload(c, kernels.NewPageRank(g), DRRIPSetup()),
+					bdfs: RunWorkload(c, kernels.NewPageRankOrdered(g, order), DRRIPSetup()),
+					popt: RunWorkload(c, kernels.NewPageRank(g), POPTSetup(core.InterIntra, 8, true)),
+					topt: RunWorkload(c, kernels.NewPageRank(g), TOPTSetup()),
+				}
+			},
+		}
+	}
+	c.runCells(cells)
+	for gi, g := range graphs {
+		out := results[gi]
+		rep.AddRow(g.Name, pct(MissReduction(out.base, out.bdfs)), pct(MissReduction(out.base, out.popt)), pct(MissReduction(out.base, out.topt)))
 	}
 	return rep
 }
@@ -101,21 +137,45 @@ func Fig13(c Config) *Report {
 	suite := c.Suite()
 	graphs := []*graph.Graph{suite[3], suite[1]} // URAND-like and UK-like, per the paper's two large graphs
 	tileCounts := []int{1, 2, 4, 8, 16}
-	for _, g := range graphs {
-		untiled := RunWorkload(c, kernels.NewPageRank(g), DRRIPSetup())
-		base := float64(untiled.H.LLC.Stats.Misses)
-		for _, tiles := range tileCounts {
-			seg := graph.Segment(g, tiles)
-			drrip := RunWorkload(c, kernels.NewPageRankTiled(g, seg), DRRIPSetup())
-			poptSetup := Setup{Name: "P-OPT", Make: func(w *kernels.Workload, cfg cache.Config) (cache.Policy, core.VertexIndexed, int) {
-				tp := core.NewTiledPOPT(seg, w.Irregular[0], core.InterIntra, 8)
-				return tp, tp, tp.ReservedWays(cfg.LLCSize / (cfg.LLCWays * 64))
-			}}
-			popt := RunWorkload(c, kernels.NewPageRankTiled(g, seg), poptSetup)
+	// Per graph: one untiled-baseline cell plus a cell per tile count (the
+	// CSR segmentation is cell-private preprocessing). Assembly normalizes
+	// every tiled run against the untiled baseline afterwards.
+	untiled := make([]Result, len(graphs))
+	type cellOut struct{ drrip, popt Result }
+	results := make([][]cellOut, len(graphs))
+	var cells []Cell
+	for gi, g := range graphs {
+		results[gi] = make([]cellOut, len(tileCounts))
+		cells = append(cells, Cell{
+			Key: "fig13/" + g.Name + "/untiled",
+			Run: func() { untiled[gi] = RunWorkload(c, kernels.NewPageRank(g), DRRIPSetup()) },
+		})
+		for ti, tiles := range tileCounts {
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("fig13/%s/tiles=%d", g.Name, tiles),
+				Run: func() {
+					seg := graph.Segment(g, tiles)
+					poptSetup := Setup{Name: "P-OPT", Make: func(_ Config, w *kernels.Workload, cfg cache.Config) (cache.Policy, core.VertexIndexed, int) {
+						tp := core.NewTiledPOPT(seg, w.Irregular[0], core.InterIntra, 8)
+						return tp, tp, tp.ReservedWays(cfg.LLCSize / (cfg.LLCWays * 64))
+					}}
+					results[gi][ti] = cellOut{
+						drrip: RunWorkload(c, kernels.NewPageRankTiled(g, seg), DRRIPSetup()),
+						popt:  RunWorkload(c, kernels.NewPageRankTiled(g, seg), poptSetup),
+					}
+				},
+			})
+		}
+	}
+	c.runCells(cells)
+	for gi, g := range graphs {
+		base := float64(untiled[gi].H.LLC.Stats.Misses)
+		for ti, tiles := range tileCounts {
+			out := results[gi][ti]
 			rep.AddRow(g.Name, fmt.Sprintf("%d", tiles),
-				f2(float64(drrip.H.LLC.Stats.Misses)/base),
-				f2(float64(popt.H.LLC.Stats.Misses)/base),
-				fmt.Sprintf("%d", popt.Reserved))
+				f2(float64(out.drrip.H.LLC.Stats.Misses)/base),
+				f2(float64(out.popt.H.LLC.Stats.Misses)/base),
+				fmt.Sprintf("%d", out.popt.Reserved))
 		}
 	}
 	return rep
@@ -127,6 +187,7 @@ func Fig13(c Config) *Report {
 // which is what PB/PHI optimize. Paper: PHI beats PB on power-law inputs
 // but offers little on URAND/HBUBL-like graphs, where P-OPT still helps.
 func Fig14(c Config) *Report {
+	c = c.withArtifacts()
 	rep := &Report{
 		ID: "fig14", Title: "Update phase: DRAM transfers per edge (lower is better)",
 		Notes: []string{
@@ -135,23 +196,52 @@ func Fig14(c Config) *Report {
 		},
 		Header: []string{"graph", "PB+DRRIP", "PB+P-OPT", "PHI+DRRIP", "PHI+P-OPT", "PHI coalesce"},
 	}
-	for _, g := range c.Suite() {
+	// One cell per (graph, variant): PB and PHI, each with and without
+	// P-OPT. The serial loop reported the coalesce rate of the last PHI
+	// variant it ran (PHI+P-OPT); assembly reads that cell's value to keep
+	// the report byte-identical.
+	suite := c.Suite()
+	type cellOut struct {
+		traffic  float64
+		coalesce float64
+	}
+	results := make([][4]cellOut, len(suite))
+	var cells []Cell
+	variants := []struct {
+		label   string
+		phi     bool
+		usePOPT bool
+	}{
+		{"PB+DRRIP", false, false},
+		{"PB+P-OPT", false, true},
+		{"PHI+DRRIP", true, false},
+		{"PHI+P-OPT", true, true},
+	}
+	for gi, g := range suite {
+		for vi, v := range variants {
+			cells = append(cells, Cell{
+				Key: "fig14/" + g.Name + "/" + v.label,
+				Run: func() {
+					out := &results[gi][vi]
+					if v.phi {
+						phase := sched.NewScatterPhase(g, false)
+						out.traffic = runUpdatePhaseWithPHI(c, phase, g, v.usePOPT, &out.coalesce)
+					} else {
+						phase := sched.NewBinningPhase(g, 16)
+						out.traffic = runUpdatePhase(c, phase, g, v.usePOPT, false)
+					}
+				},
+			})
+		}
+	}
+	c.runCells(cells)
+	for gi, g := range suite {
 		m := float64(g.NumEdges())
 		row := []string{g.Name}
-		// PB rows: binning phase; P-OPT has no irregular stream to manage
-		// there (bins are sequential), so it acts as its DRRIP tie-breaker.
-		for _, usePOPT := range []bool{false, true} {
-			phase := sched.NewBinningPhase(g, 16)
-			tr := runUpdatePhase(c, phase, g, usePOPT, false)
-			row = append(row, f2(tr/m))
+		for vi := range variants {
+			row = append(row, f2(results[gi][vi].traffic/m))
 		}
-		var coalesce float64
-		for _, usePOPT := range []bool{false, true} {
-			phase := sched.NewScatterPhase(g, false)
-			tr := runUpdatePhaseWithPHI(c, phase, g, usePOPT, &coalesce)
-			row = append(row, f2(tr/m))
-		}
-		row = append(row, fmt.Sprintf("%.0f%%", 100*coalesce))
+		row = append(row, fmt.Sprintf("%.0f%%", 100*results[gi][3].coalesce))
 		rep.AddRow(row...)
 	}
 	return rep
@@ -164,7 +254,7 @@ func runUpdatePhase(c Config, phase *sched.UpdatePhase, g *graph.Graph, usePOPT,
 	var hook core.VertexIndexed
 	reserve := 0
 	if usePOPT && phase.DstData != nil {
-		p := core.BuildPOPT(&g.In, g.NumVertices(), core.InterIntra, 8, phase.DstData)
+		p := c.buildPOPT(&g.In, g.NumVertices(), core.InterIntra, 8, phase.DstData)
 		pol, hook = p, p
 		reserve = p.ReservedWays(cfg.LLCSize / (cfg.LLCWays * 64))
 	} else if usePOPT {
@@ -188,7 +278,7 @@ func runUpdatePhaseWithPHI(c Config, phase *sched.UpdatePhase, g *graph.Graph, u
 	var hook core.VertexIndexed
 	reserve := 0
 	if usePOPT {
-		p := core.BuildPOPT(&g.In, g.NumVertices(), core.InterIntra, 8, phase.DstData)
+		p := c.buildPOPT(&g.In, g.NumVertices(), core.InterIntra, 8, phase.DstData)
 		pol, hook = p, p
 		reserve = p.ReservedWays(cfg.LLCSize / (cfg.LLCWays * 64))
 	} else {

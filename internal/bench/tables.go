@@ -99,14 +99,14 @@ func Table4(c Config) *Report {
 	for _, g := range c.Suite() {
 		w := kernels.NewPageRank(g)
 
-		t0 := time.Now()
+		t0 := time.Now() //lint:allow determinism (Table IV reports host wall-clock build cost by design)
 		p := core.BuildPOPT(w.RefAdj, w.G.NumVertices(), core.InterIntra, 8, w.Irregular...)
 		build := time.Since(t0)
 		_ = p
 
 		// The paper's Table IV baseline is a full PageRank execution (run
 		// to convergence), not the short simulated sample.
-		t1 := time.Now()
+		t1 := time.Now() //lint:allow determinism (Table IV reports host wall-clock runtime by design)
 		iters := kernels.ConvergedPageRank(g, 1e-9, 50)
 		prTime := time.Since(t1)
 		_ = iters

@@ -73,14 +73,16 @@ func (p *POPT) Bind(g cache.Geometry) {
 	p.tie.Bind(g)
 }
 
-// matrices returns the distinct Rereference Matrices behind the streams
-// (streams with identical line geometry share one; see BuildPOPT).
+// matrices returns the distinct Rereference Matrices behind the streams,
+// deduplicated by their shared immutable Table (streams with identical
+// line geometry share one table; see BuildPOPT): the streaming engine
+// moves each encoded table's column once however many views exist.
 func (p *POPT) matrices() []*Matrix {
 	var ms []*Matrix
 	for _, s := range p.streams {
 		shared := false
 		for _, m := range ms {
-			if m == s.M {
+			if m.Table == s.M.Table {
 				shared = true
 				break
 			}

@@ -11,7 +11,11 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
 
 	"popt/internal/graph"
 )
@@ -47,10 +51,12 @@ func (k Kind) String() string {
 	}
 }
 
-// Matrix is a quantized encoding of a graph transpose's next-reference
-// information for one irregularly accessed array: one row per cache line
-// of the array, one column per epoch of the outer traversal loop.
-type Matrix struct {
+// Table is the immutable half of a Rereference Matrix: the epoch geometry
+// plus the quantized next-reference entries — one row per cache line of
+// the irregular array, one column per epoch of the outer traversal loop.
+// A Table never changes after BuildTable returns, so one Table can back
+// any number of concurrent simulations; per-run state lives in Matrix.
+type Table struct {
 	Kind Kind
 	// Bits is the entry width (4, 8 or 16; the paper's default is 8).
 	Bits uint
@@ -70,6 +76,23 @@ type Matrix struct {
 	entries []uint16
 }
 
+// Matrix is one run's view of a Rereference Matrix: the shared immutable
+// Table plus whatever per-run mutable state a simulation accumulates.
+// Sharing a Matrix between concurrent simulations is a data race; sharing
+// the Table behind any number of NewMatrix views is free and safe, which
+// is what lets a parallel sweep build each table once and hand every cell
+// its own cheap view.
+type Matrix struct {
+	*Table
+	// Queries counts NextRef consultations through this view (one per
+	// candidate way per matrix-guided replacement).
+	Queries uint64
+}
+
+// NewMatrix returns a fresh per-run view of the table. Views are cheap:
+// they share the encoded entries and differ only in per-run counters.
+func (t *Table) NewMatrix() *Matrix { return &Matrix{Table: t} }
+
 // distBits returns the width of the distance field for the encoding.
 func (k Kind) distBits(bits uint) uint {
 	switch k {
@@ -85,7 +108,7 @@ func (k Kind) distBits(bits uint) uint {
 // MaxDist returns the saturating/sentinel distance value: entries at
 // MaxDist mean "next reference at least this many epochs away (possibly
 // never)".
-func (m *Matrix) MaxDist() int { return 1<<m.Kind.distBits(m.Bits) - 1 }
+func (t *Table) MaxDist() int { return 1<<t.Kind.distBits(t.Bits) - 1 }
 
 // BuildMatrix constructs the Rereference Matrix for an irregular array
 // whose element for vertex v is referenced once per occurrence of v in the
@@ -93,17 +116,27 @@ func (m *Matrix) MaxDist() int { return 1<<m.Kind.distBits(m.Bits) - 1 }
 // neighbor list of v. For a pull kernel refAdj is the graph's out-adjacency
 // (the transpose of the traversed CSC); for push it is the in-adjacency.
 //
-// numVertices is the outer loop trip count, elemsPerLine how many vertices
-// share a line of the array (16 for 4 B data, 8 for 8 B, 512 for bit
-// frontiers). This is the preprocessing step Table IV measures.
+// It is BuildTable plus a fresh per-run view; callers that want to share
+// one build across runs keep the Table and call NewMatrix per run.
 func BuildMatrix(refAdj *graph.Adj, numVertices, elemsPerLine int, kind Kind, bits uint) *Matrix {
+	return BuildTable(refAdj, numVertices, elemsPerLine, kind, bits).NewMatrix()
+}
+
+// BuildTable constructs the immutable encoded table of a Rereference
+// Matrix. numVertices is the outer loop trip count, elemsPerLine how many
+// vertices share a line of the array (16 for 4 B data, 8 for 8 B, 512 for
+// bit frontiers). This is the preprocessing step Table IV measures; rows
+// are filled in parallel across GOMAXPROCS workers (each row's column
+// scan touches only that row's slice of the transpose), and the resulting
+// entries are bit-identical at every worker count.
+func BuildTable(refAdj *graph.Adj, numVertices, elemsPerLine int, kind Kind, bits uint) *Table {
 	if bits < 4 || bits > 16 {
 		panic(fmt.Sprintf("core: unsupported quantization width %d", bits))
 	}
 	if kind == SingleEpoch && bits < 5 {
 		panic("core: single-epoch encoding needs at least 5 bits")
 	}
-	m := &Matrix{Kind: kind, Bits: bits, ElemsPerLine: elemsPerLine}
+	t := &Table{Kind: kind, Bits: bits, ElemsPerLine: elemsPerLine}
 	// The number of epochs is bounded by the representable ID range
 	// (2^bits; the paper's 8-bit default gives 256 epochs with
 	// EpochSize = ceil(numVertices/256)) and by the vertex count itself.
@@ -114,56 +147,92 @@ func BuildMatrix(refAdj *graph.Adj, numVertices, elemsPerLine int, kind Kind, bi
 	if quantEpochs < 1 {
 		quantEpochs = 1
 	}
-	m.EpochSize = (numVertices + quantEpochs - 1) / quantEpochs
-	m.NumEpochs = (numVertices + m.EpochSize - 1) / m.EpochSize
-	m.SubEpochs = 1<<kind.distBits(bits) - 1
-	if m.SubEpochs < 1 {
-		m.SubEpochs = 1
+	t.EpochSize = (numVertices + quantEpochs - 1) / quantEpochs
+	t.NumEpochs = (numVertices + t.EpochSize - 1) / t.EpochSize
+	t.SubEpochs = 1<<kind.distBits(bits) - 1
+	if t.SubEpochs < 1 {
+		t.SubEpochs = 1
 	}
-	m.SubEpochSize = (m.EpochSize + m.SubEpochs - 1) / m.SubEpochs
-	m.NumLines = (refAdj.N() + elemsPerLine - 1) / elemsPerLine
-	m.entries = make([]uint16, m.NumLines*m.NumEpochs)
-	fillEntries(m, refAdj, numVertices)
-	return m
+	t.SubEpochSize = (t.EpochSize + t.SubEpochs - 1) / t.SubEpochs
+	t.NumLines = (refAdj.N() + elemsPerLine - 1) / elemsPerLine
+	t.entries = make([]uint16, t.NumLines*t.NumEpochs)
+	fillEntries(t, refAdj, numVertices)
+	return t
 }
 
-// fillEntries populates a Matrix whose geometry fields are already set.
-func fillEntries(m *Matrix, refAdj *graph.Adj, numVertices int) {
-	kind, bits, elemsPerLine := m.Kind, m.Bits, m.ElemsPerLine
-	maxDist := uint16(m.MaxDist())
+// minLinesPerWorker bounds the parallel-fill grain: below this many rows
+// per worker the goroutine fan-out costs more than the column scans.
+const minLinesPerWorker = 256
+
+// fillEntries populates a Table whose geometry fields are already set,
+// partitioning rows across workers. Every row is computed from only its
+// own vertices' transpose lists and written to its own entries slice, so
+// the result is independent of the partitioning.
+func fillEntries(t *Table, refAdj *graph.Adj, numVertices int) {
+	workers := runtime.GOMAXPROCS(0)
+	if max := t.NumLines / minLinesPerWorker; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		t.fillLines(refAdj, numVertices, 0, t.NumLines,
+			make([]bool, t.NumEpochs), make([]uint16, t.NumEpochs))
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (t.NumLines + workers - 1) / workers
+	for lo := 0; lo < t.NumLines; lo += chunk {
+		hi := lo + chunk
+		if hi > t.NumLines {
+			hi = t.NumLines
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			t.fillLines(refAdj, numVertices, lo, hi,
+				make([]bool, t.NumEpochs), make([]uint16, t.NumEpochs))
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// fillLines is the row worker of the parallel matrix build: it encodes the
+// rows [lo, hi) into t.entries. hasRef and lastSub are caller-provided
+// per-worker scratch of length NumEpochs (allocated outside so this inner
+// loop stays allocation-free).
+//
+//popt:hot
+func (t *Table) fillLines(refAdj *graph.Adj, numVertices, lo, hi int, hasRef []bool, lastSub []uint16) {
+	kind, bits, elemsPerLine := t.Kind, t.Bits, t.ElemsPerLine
+	maxDist := uint16(t.MaxDist())
 	msbMask := uint16(1) << (bits - 1)
 	nextBitMask := uint16(0)
 	if kind == SingleEpoch {
 		nextBitMask = 1 << (bits - 2)
 	}
-
-	// Scratch per line, reused across lines.
-	hasRef := make([]bool, m.NumEpochs)
-	lastSub := make([]uint16, m.NumEpochs)
 	n := refAdj.N()
-	for line := 0; line < m.NumLines; line++ {
+	for line := lo; line < hi; line++ {
 		for e := range hasRef {
 			hasRef[e] = false
 			lastSub[e] = 0
 		}
-		lo := line * elemsPerLine
-		hi := lo + elemsPerLine
-		if hi > n {
-			hi = n
+		vlo := line * elemsPerLine
+		vhi := vlo + elemsPerLine
+		if vhi > n {
+			vhi = n
 		}
 		// A line is next referenced at the earliest outer-loop position
 		// among its vertices; for epoch bookkeeping we need, per epoch,
 		// whether any reference lands there and the sub-epoch of the LAST
 		// reference in that epoch.
-		for v := lo; v < hi; v++ {
+		for v := vlo; v < vhi; v++ {
 			for _, d := range refAdj.Neighs(graph.V(v)) {
 				if int(d) >= numVertices {
 					continue // outer loop never reaches it
 				}
-				e := int(d) / m.EpochSize
-				sub := (int(d) - e*m.EpochSize) / m.SubEpochSize
-				if sub >= m.SubEpochs {
-					sub = m.SubEpochs - 1
+				e := int(d) / t.EpochSize
+				sub := (int(d) - e*t.EpochSize) / t.SubEpochSize
+				if sub >= t.SubEpochs {
+					sub = t.SubEpochs - 1
 				}
 				if !hasRef[e] || uint16(sub) > lastSub[e] {
 					lastSub[e] = uint16(sub)
@@ -173,8 +242,8 @@ func fillEntries(m *Matrix, refAdj *graph.Adj, numVertices int) {
 		}
 		// Walk epochs backward, tracking the next referencing epoch.
 		next := -1 // -1 = no further reference
-		row := m.entries[line*m.NumEpochs : (line+1)*m.NumEpochs]
-		for e := m.NumEpochs - 1; e >= 0; e-- {
+		row := t.entries[line*t.NumEpochs : (line+1)*t.NumEpochs]
+		for e := t.NumEpochs - 1; e >= 0; e-- {
 			dist := int(maxDist)
 			if hasRef[e] {
 				dist = 0
@@ -195,7 +264,7 @@ func fillEntries(m *Matrix, refAdj *graph.Adj, numVertices int) {
 			case SingleEpoch:
 				if hasRef[e] {
 					row[e] = lastSub[e]
-					if e+1 < m.NumEpochs && hasRef[e+1] {
+					if e+1 < t.NumEpochs && hasRef[e+1] {
 						row[e] |= nextBitMask
 					}
 				} else {
@@ -210,15 +279,35 @@ func fillEntries(m *Matrix, refAdj *graph.Adj, numVertices int) {
 }
 
 // Entry exposes the raw encoded entry for tests and diagnostics.
-func (m *Matrix) Entry(line, epoch int) uint16 { return m.entries[line*m.NumEpochs+epoch] }
+func (t *Table) Entry(line, epoch int) uint16 { return t.entries[line*t.NumEpochs+epoch] }
+
+// Checksum returns an FNV-1a hash of the table's geometry and entries.
+// Tests use it to assert that tables shared across concurrent sweep cells
+// are never written after construction.
+func (t *Table) Checksum() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, x := range []uint64{
+		uint64(t.Kind), uint64(t.Bits), uint64(t.NumLines), uint64(t.ElemsPerLine),
+		uint64(t.NumEpochs), uint64(t.EpochSize), uint64(t.SubEpochs), uint64(t.SubEpochSize),
+	} {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	for _, e := range t.entries {
+		binary.LittleEndian.PutUint16(buf[:2], e)
+		h.Write(buf[:2])
+	}
+	return h.Sum64()
+}
 
 // EpochOf maps an outer-loop vertex to its epoch.
 //
 //popt:hot
-func (m *Matrix) EpochOf(v graph.V) int {
-	e := int(v) / m.EpochSize
-	if e >= m.NumEpochs {
-		e = m.NumEpochs - 1
+func (t *Table) EpochOf(v graph.V) int {
+	e := int(v) / t.EpochSize
+	if e >= t.NumEpochs {
+		e = t.NumEpochs - 1
 	}
 	return e
 }
@@ -230,6 +319,7 @@ func (m *Matrix) EpochOf(v graph.V) int {
 //
 //popt:hot
 func (m *Matrix) NextRef(line int, cur graph.V) int {
+	m.Queries++
 	e := m.EpochOf(cur)
 	curr := m.entries[line*m.NumEpochs+e]
 	msbMask := uint16(1) << (m.Bits - 1)
@@ -279,19 +369,19 @@ func (m *Matrix) NextRef(line int, cur graph.V) int {
 
 // ColumnBytes returns the storage of one epoch column, the unit streamed
 // into the LLC at epoch boundaries.
-func (m *Matrix) ColumnBytes() int { return (m.NumLines*int(m.Bits) + 7) / 8 }
+func (t *Table) ColumnBytes() int { return (t.NumLines*int(t.Bits) + 7) / 8 }
 
 // ResidentColumns returns how many columns P-OPT pins in the LLC for this
 // encoding: current+next normally, current only for single-epoch.
-func (m *Matrix) ResidentColumns() int {
-	if m.Kind == SingleEpoch {
+func (t *Table) ResidentColumns() int {
+	if t.Kind == SingleEpoch {
 		return 1
 	}
 	return 2
 }
 
 // ResidentBytes returns the LLC footprint of the pinned columns.
-func (m *Matrix) ResidentBytes() int { return m.ResidentColumns() * m.ColumnBytes() }
+func (t *Table) ResidentBytes() int { return t.ResidentColumns() * t.ColumnBytes() }
 
 // TotalBytes returns the full Rereference Matrix size in memory.
-func (m *Matrix) TotalBytes() int { return (len(m.entries)*int(m.Bits) + 7) / 8 }
+func (t *Table) TotalBytes() int { return (len(t.entries)*int(t.Bits) + 7) / 8 }

@@ -35,18 +35,18 @@ func buildFig5Matrix(kind Kind) *Matrix {
 // epoch size (the public builder derives epoch size from the quantization
 // width).
 func rebuildWithEpochSize(ref *graph.Adj, numVertices, epl int, kind Kind, bits uint, epochSize int) *Matrix {
-	mm := &Matrix{Kind: kind, Bits: bits, ElemsPerLine: epl}
-	mm.EpochSize = epochSize
-	mm.NumEpochs = (numVertices + epochSize - 1) / epochSize
-	mm.SubEpochs = 1<<kind.distBits(bits) - 1
-	if mm.SubEpochs < 1 {
-		mm.SubEpochs = 1
+	tt := &Table{Kind: kind, Bits: bits, ElemsPerLine: epl}
+	tt.EpochSize = epochSize
+	tt.NumEpochs = (numVertices + epochSize - 1) / epochSize
+	tt.SubEpochs = 1<<kind.distBits(bits) - 1
+	if tt.SubEpochs < 1 {
+		tt.SubEpochs = 1
 	}
-	mm.SubEpochSize = (epochSize + mm.SubEpochs - 1) / mm.SubEpochs
-	mm.NumLines = (ref.N() + epl - 1) / epl
-	mm.entries = make([]uint16, mm.NumLines*mm.NumEpochs)
-	fillEntries(mm, ref, numVertices)
-	return mm
+	tt.SubEpochSize = (epochSize + tt.SubEpochs - 1) / tt.SubEpochs
+	tt.NumLines = (ref.N() + epl - 1) / epl
+	tt.entries = make([]uint16, tt.NumLines*tt.NumEpochs)
+	fillEntries(tt, ref, numVertices)
+	return tt.NewMatrix()
 }
 
 // newTestSpace shortens mem.NewSpace in tests.

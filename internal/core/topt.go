@@ -1,8 +1,12 @@
 package core
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"popt/internal/cache"
 	"popt/internal/graph"
@@ -20,47 +24,105 @@ type OracleStream struct {
 	Arr *mem.Array
 	Ref *graph.Adj
 
-	// lineOA/lineRefs is a per-cache-line merge of the vertices' sorted
-	// reference lists, so a next-reference query is one binary search
-	// instead of a scan per vertex. This is a simulator-speed
-	// optimization only: hardware T-OPT would scan the transpose, and the
-	// paper charges it nothing either way (T-OPT is the idealized bound).
-	lineOA   []uint64
-	lineRefs []graph.V
+	// LR is the per-cache-line merge of the vertices' sorted reference
+	// lists, so a next-reference query is one binary search instead of a
+	// scan per vertex. NewTOPT builds it when nil; callers that simulate
+	// the same (transpose, line geometry) many times can build it once
+	// with BuildLineRefs and share it read-only across runs. This is a
+	// simulator-speed optimization only: hardware T-OPT would scan the
+	// transpose, and the paper charges it nothing either way (T-OPT is
+	// the idealized bound).
+	LR *LineRefs
 }
 
-// buildLineRefs merges the sorted out-neighbor lists of the vertices
-// sharing each cache line into one sorted list per line.
-func (s *OracleStream) buildLineRefs() {
-	epl := s.Arr.ElemsPerLine()
-	n := s.Ref.N()
-	numLines := (n + epl - 1) / epl
-	s.lineOA = make([]uint64, numLines+1)
+// LineRefs is the immutable merged-transpose table behind an
+// OracleStream: for each cache line of the irregular array, the sorted
+// union of its vertices' reference positions. Like core.Table it never
+// changes after construction and is safe to share across concurrent
+// simulations.
+type LineRefs struct {
+	oa   []uint64
+	refs []graph.V
+}
+
+// BuildLineRefs merges the sorted neighbor lists of the vertices sharing
+// each cache line (elemsPerLine of them) into one sorted list per line.
+// Lines are independent, so the merge is partitioned across GOMAXPROCS
+// workers; the result is identical at every worker count.
+func BuildLineRefs(ref *graph.Adj, elemsPerLine int) *LineRefs {
+	n := ref.N()
+	numLines := (n + elemsPerLine - 1) / elemsPerLine
+	lr := &LineRefs{oa: make([]uint64, numLines+1)}
 	total := uint64(0)
 	for l := 0; l < numLines; l++ {
-		s.lineOA[l] = total
-		lo, hi := l*epl, (l+1)*epl
+		lr.oa[l] = total
+		lo, hi := l*elemsPerLine, (l+1)*elemsPerLine
 		if hi > n {
 			hi = n
 		}
 		for v := lo; v < hi; v++ {
-			total += uint64(s.Ref.Degree(graph.V(v)))
+			total += uint64(ref.Degree(graph.V(v)))
 		}
 	}
-	s.lineOA[numLines] = total
-	s.lineRefs = make([]graph.V, total)
-	for l := 0; l < numLines; l++ {
-		w := s.lineOA[l]
-		lo, hi := l*epl, (l+1)*epl
+	lr.oa[numLines] = total
+	lr.refs = make([]graph.V, total)
+	workers := runtime.GOMAXPROCS(0)
+	if max := numLines / minLinesPerWorker; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		lr.mergeLines(ref, elemsPerLine, 0, numLines)
+		return lr
+	}
+	var wg sync.WaitGroup
+	chunk := (numLines + workers - 1) / workers
+	for lo := 0; lo < numLines; lo += chunk {
+		hi := lo + chunk
+		if hi > numLines {
+			hi = numLines
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			lr.mergeLines(ref, elemsPerLine, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return lr
+}
+
+// mergeLines fills and sorts the reference segments of lines [lineLo,
+// lineHi); each worker of the parallel build owns a disjoint range.
+func (lr *LineRefs) mergeLines(ref *graph.Adj, elemsPerLine, lineLo, lineHi int) {
+	n := ref.N()
+	for l := lineLo; l < lineHi; l++ {
+		w := lr.oa[l]
+		lo, hi := l*elemsPerLine, (l+1)*elemsPerLine
 		if hi > n {
 			hi = n
 		}
 		for v := lo; v < hi; v++ {
-			w += uint64(copy(s.lineRefs[w:], s.Ref.Neighs(graph.V(v))))
+			w += uint64(copy(lr.refs[w:], ref.Neighs(graph.V(v))))
 		}
-		seg := s.lineRefs[s.lineOA[l]:w]
+		seg := lr.refs[lr.oa[l]:w]
 		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
 	}
+}
+
+// Checksum returns an FNV-1a hash of the merged reference table; tests
+// use it to assert immutability under concurrent sharing.
+func (lr *LineRefs) Checksum() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, x := range lr.oa {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	for _, r := range lr.refs {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(r))
+		h.Write(buf[:4])
+	}
+	return h.Sum64()
 }
 
 // next returns the smallest reference position of line l strictly greater
@@ -70,8 +132,8 @@ func (s *OracleStream) buildLineRefs() {
 // and defeats bounds-check elimination on the segment.
 //
 //popt:hot
-func (s *OracleStream) next(l int, cur graph.V) (graph.V, bool) {
-	seg := s.lineRefs[s.lineOA[l]:s.lineOA[l+1]]
+func (lr *LineRefs) next(l int, cur graph.V) (graph.V, bool) {
+	seg := lr.refs[lr.oa[l]:lr.oa[l+1]]
 	lo, hi := 0, len(seg)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -102,11 +164,14 @@ type TOPT struct {
 	Ties uint64
 }
 
-// NewTOPT builds a T-OPT policy over the given irregular streams.
+// NewTOPT builds a T-OPT policy over the given irregular streams,
+// building any merged-transpose tables the caller did not supply.
 func NewTOPT(streams ...OracleStream) *TOPT {
 	p := &TOPT{streams: streams, tie: cache.NewDRRIP(1)}
 	for i := range p.streams {
-		p.streams[i].buildLineRefs()
+		if p.streams[i].LR == nil {
+			p.streams[i].LR = BuildLineRefs(p.streams[i].Ref, p.streams[i].Arr.ElemsPerLine())
+		}
 	}
 	return p
 }
@@ -149,7 +214,7 @@ func (p *TOPT) stream(addr uint64) *OracleStream {
 //
 //popt:hot
 func (p *TOPT) nextRef(s *OracleStream, addr uint64) int64 {
-	if next, ok := s.next(s.Arr.LineID(addr), p.cur); ok {
+	if next, ok := s.LR.next(s.Arr.LineID(addr), p.cur); ok {
 		return int64(next) - int64(p.cur)
 	}
 	return infDist

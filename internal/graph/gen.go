@@ -202,9 +202,20 @@ const (
 	ScaleLarge
 )
 
-// Suite generates the five-input suite mirroring Table III at the requested
+// Suite returns the five-input suite mirroring Table III at the requested
 // scale. The order matches the paper's tables: DBP, UK, KRON, URAND, HBUBL.
+// Suites are memoized per (scale, seed): the first call generates the
+// graphs, later calls share the same immutable *Graph values. The returned
+// slice is a fresh copy, so callers may append to or reorder it freely.
 func Suite(s Scale, seed int64) []*Graph {
+	cached := cachedSuite(s, seed)
+	out := make([]*Graph, len(cached))
+	copy(out, cached)
+	return out
+}
+
+// buildSuite generates the suite; Suite memoizes it.
+func buildSuite(s Scale, seed int64) []*Graph {
 	switch s {
 	case ScaleTiny:
 		return []*Graph{

@@ -20,6 +20,7 @@ var SimPackages = []string{
 	"popt/internal/perf",
 	"popt/internal/sched",
 	"popt/internal/multicore",
+	"popt/internal/bench",
 }
 
 // randSourceless are math/rand package-level functions that do NOT draw
