@@ -24,6 +24,7 @@ func main() {
 	format := flag.String("format", "table", "output format: table or csv")
 	workers := flag.Int("j", 0, "sweep worker count: 0 = GOMAXPROCS, 1 = serial (output is identical at any count)")
 	progress := flag.Bool("progress", false, "report per-cell completion and timing on stderr")
+	noreplay := flag.Bool("noreplay", false, "disable reference-stream record/replay sharing (every cell re-executes its kernel; output is identical either way)")
 	flag.Parse()
 
 	if *list {
@@ -36,6 +37,7 @@ func main() {
 	cfg := bench.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.NoReplay = *noreplay
 	if *progress {
 		cfg.Progress = func(ev bench.CellEvent) {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)\n", ev.Done, ev.Total, ev.Key, ev.Elapsed.Round(time.Microsecond))

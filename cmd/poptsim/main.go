@@ -18,6 +18,7 @@ import (
 	"popt/internal/core"
 	"popt/internal/graph"
 	"popt/internal/kernels"
+	"popt/internal/trace"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	scale := flag.String("scale", "default", "input scale: tiny, default, large")
 	seed := flag.Int64("seed", 42, "generator seed")
 	check := flag.Bool("check", false, "wrap the LLC policy in a runtime contract checker (panics on Policy-contract violations)")
+	dumptrace := flag.Bool("dumptrace", false, "record the run's reference stream and print event counts and encoded size")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -49,11 +51,18 @@ func main() {
 
 	w := builder.New(g)
 	fmt.Printf("app=%s graph=%s policy=%s\n", w.Name, g, setup.Name)
-	res := bench.RunWorkload(cfg, w, setup)
+	var res bench.Result
+	var tr *trace.Trace
+	if *dumptrace {
+		res, tr = bench.RecordWorkload(cfg, w, setup)
+	} else {
+		res = bench.RunWorkload(cfg, w, setup)
+	}
 	if err := w.Check(); err != nil {
 		fail("result verification failed: %v", err)
 	}
 	fmt.Print(res.H.Summary())
+	fmt.Printf("instructions=%d  LLC MPKI=%.2f\n", res.Instructions, res.MPKI())
 	if res.Reserved > 0 {
 		fmt.Printf("reserved LLC ways: %d\n", res.Reserved)
 	}
@@ -61,7 +70,21 @@ func main() {
 		fmt.Printf("Rereference Matrix streamed: %d bytes, tie rate %.1f%%\n", res.Streamed, 100*res.TieRate)
 	}
 	fmt.Printf("modeled %v\n", res.Breakdown())
+	if tr != nil {
+		dumpTrace(tr)
+	}
 	fmt.Println("results verified against golden implementation: OK")
+}
+
+// dumpTrace prints the recorded stream's composition and encoding density.
+func dumpTrace(tr *trace.Trace) {
+	st := tr.Stats()
+	fmt.Printf("trace: %d events in %d bytes (%.2f bytes/event)\n",
+		st.Events(), tr.Size(), tr.BytesPerEvent())
+	fmt.Printf("  accesses=%d (writes=%d)  vertexUpdates=%d  iterations=%d\n",
+		st.Accesses, st.Writes, st.VertexUpdates, st.Iterations)
+	fmt.Printf("  tileSwitches=%d  mutedRegions=%d  tickEvents=%d (instrs=%d)\n",
+		st.TileSwitches, st.MutedRegions, st.TickEvents, st.TickedInstrs)
 }
 
 func pickGraph(cfg bench.Config, name, file string) *graph.Graph {

@@ -56,11 +56,12 @@ func main() {
 	} {
 		w := kernels.NewPageRank(g)
 		h := cache.NewHierarchy(cache.Scaled(pol))
-		w.Run(kernels.NewRunner(h, nil))
+		r := kernels.NewRunner(h, nil)
+		w.Run(r)
 		if err := w.Check(); err != nil {
 			panic(err)
 		}
 		fmt.Printf("%-6s LLC miss rate %5.1f%%  MPKI %6.2f\n",
-			h.LLC.Policy().Name(), 100*h.LLCMissRate(), h.LLCMPKI())
+			h.LLC.Policy().Name(), 100*h.LLCMissRate(), r.Sim().MPKI())
 	}
 }

@@ -32,7 +32,8 @@ func main() {
 		if reserve > 0 {
 			h.LLC.Reserve(reserve)
 		}
-		w.Run(kernels.NewRunner(h, hook))
+		r := kernels.NewRunner(h, hook)
+		w.Run(r)
 		if err := w.Check(); err != nil {
 			panic(err)
 		}
@@ -40,9 +41,12 @@ func main() {
 		if pp, ok := p.(*core.POPT); ok {
 			streamed = pp.BytesStreamed
 		}
-		b := perf.Model(h, streamed, perf.Default())
+		// The runner's live sink owns instruction accounting (the MPKI
+		// denominator).
+		sim := r.Sim()
+		b := perf.Model(h, sim.Instructions, streamed, perf.Default())
 		fmt.Printf("%-6s LLC miss rate %5.1f%%  MPKI %6.2f  DRAM reads %d\n",
-			name, 100*h.LLCMissRate(), h.LLCMPKI(), h.DRAMReads)
+			name, 100*h.LLCMissRate(), sim.MPKI(), h.DRAMReads)
 		return b
 	}
 

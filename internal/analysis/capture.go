@@ -1,42 +1,43 @@
 package analysis
 
 import (
-	"popt/internal/cache"
 	"popt/internal/kernels"
 	"popt/internal/mem"
+	"popt/internal/trace"
 )
 
+// captureSink records access addresses and ignores every other event.
+type captureSink struct {
+	trace.Nop
+	addrs []uint64
+	// keep, when non-nil, restricts recording to matching addresses.
+	keep func(addr uint64) bool
+}
+
+// Access implements trace.Sink.
+func (s *captureSink) Access(acc mem.Access) {
+	if s.keep != nil && !s.keep(acc.Addr) {
+		return
+	}
+	s.addrs = append(s.addrs, acc.Addr)
+}
+
 // Capture runs a workload and records its memory reference trace without
-// simulating a cache (the runner's filter absorbs every access after
-// recording it). onlyIrregular restricts the trace to the workload's
-// irregular arrays — the stream whose locality P-OPT manages.
+// simulating a cache: the runner emits into a recording sink and no
+// hierarchy exists at all. onlyIrregular restricts the trace to the
+// workload's irregular arrays — the stream whose locality P-OPT manages.
 func Capture(w *kernels.Workload, onlyIrregular bool) []uint64 {
-	var trace []uint64
-	// The runner requires a hierarchy for accounting; a minimal one is
-	// never touched because the filter absorbs everything.
-	h := cache.NewHierarchy(cache.Config{
-		L1Size: mem.LineSize * 2, L1Ways: 2,
-		L2Size: mem.LineSize * 2, L2Ways: 2,
-		LLCSize: mem.LineSize * 2, LLCWays: 2,
-		LLCPolicy: func() cache.Policy { return cache.NewLRU() },
-	})
-	r := kernels.NewRunner(h, nil)
-	r.Filter = func(acc mem.Access) bool {
-		if onlyIrregular {
-			keep := false
+	s := &captureSink{}
+	if onlyIrregular {
+		s.keep = func(addr uint64) bool {
 			for _, a := range w.Irregular {
-				if a.Contains(acc.Addr) {
-					keep = true
-					break
+				if a.Contains(addr) {
+					return true
 				}
 			}
-			if !keep {
-				return true
-			}
+			return false
 		}
-		trace = append(trace, acc.Addr)
-		return true
 	}
-	w.Run(r)
-	return trace
+	w.Run(kernels.NewSinkRunner(s))
+	return s.addrs
 }

@@ -16,6 +16,7 @@ import (
 	"popt/internal/graph"
 	"popt/internal/kernels"
 	"popt/internal/perf"
+	"popt/internal/trace"
 )
 
 // Config selects the input scale and cache shape for a run.
@@ -36,6 +37,11 @@ type Config struct {
 	// Progress, when non-nil, receives one event per completed sweep
 	// cell (poptbench -progress wires it to stderr).
 	Progress func(CellEvent)
+	// NoReplay disables reference-stream record/replay sharing: every
+	// cell re-executes its kernel live, as before the trace pipeline
+	// existed. Replay is byte-identical to live execution (golden-tested),
+	// so this exists only for A/B timing (poptbench -noreplay).
+	NoReplay bool
 	// arts memoizes immutable build products (Rereference Matrix tables,
 	// merged transposes) across the cells of one experiment; nil means
 	// build fresh per cell. Installed by withArtifacts.
@@ -197,18 +203,29 @@ func ByID(id string) (Experiment, bool) {
 
 // Result captures one simulated run for reporting.
 type Result struct {
-	Policy   string
-	H        *cache.Hierarchy
-	Streamed uint64  // Rereference Matrix bytes (P-OPT only)
-	Reserved int     // reserved LLC ways
-	TieRate  float64 // P-OPT tie rate
+	Policy string
+	H      *cache.Hierarchy
+	// Instructions is the retired-instruction count, owned by the run's
+	// trace.Sim (identical whether the stream was live or replayed).
+	Instructions uint64
+	Streamed     uint64  // Rereference Matrix bytes (P-OPT only)
+	Reserved     int     // reserved LLC ways
+	TieRate      float64 // P-OPT tie rate
 }
 
-// MPKI returns the run's LLC misses per kilo-instruction.
-func (r Result) MPKI() float64 { return r.H.LLCMPKI() }
+// MPKI returns the run's LLC misses per kilo-instruction, the paper's
+// primary locality metric (Fig. 2, 4).
+func (r Result) MPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.H.LLC.Stats.Misses) / (float64(r.Instructions) / 1000)
+}
 
 // Breakdown models the run's cycles.
-func (r Result) Breakdown() perf.Breakdown { return perf.Model(r.H, r.Streamed, perf.Default()) }
+func (r Result) Breakdown() perf.Breakdown {
+	return perf.Model(r.H, r.Instructions, r.Streamed, perf.Default())
+}
 
 // MissReduction returns the relative LLC miss reduction of r vs. base in
 // percent (positive = fewer misses).
@@ -280,10 +297,20 @@ func POPTSetup(kind core.Kind, bits uint, chargeWays bool) Setup {
 	}}
 }
 
-// RunWorkload simulates one (workload, setup) pair under c's cache config
-// and returns the result. The workload must be freshly built (its state is
-// consumed).
-func RunWorkload(c Config, w *kernels.Workload, s Setup) Result {
+// builtCell is one policy setup instantiated for a workload: the
+// hierarchy, the update_index hook, and the raw policy for P-OPT metric
+// extraction. Live runs, recording runs, and replays all start from the
+// same built cell and differ only in how events reach its Sim.
+type builtCell struct {
+	name    string
+	h       *cache.Hierarchy
+	hook    core.VertexIndexed
+	rawPol  cache.Policy
+	reserve int
+}
+
+// buildCell instantiates setup s for workload w under c's cache config.
+func buildCell(c Config, w *kernels.Workload, s Setup) builtCell {
 	var pol cache.Policy
 	cfg := c.cacheConfig(func() cache.Policy { return pol })
 	rawPol, hook, reserve := s.Make(c, w, cfg)
@@ -301,14 +328,84 @@ func RunWorkload(c Config, w *kernels.Workload, s Setup) Result {
 	if reserve > 0 {
 		h.ReserveLLC(reserve)
 	}
-	r := kernels.NewRunner(h, hook)
-	w.Run(r)
-	res := Result{Policy: s.Name, H: h, Reserved: reserve}
-	if p, ok := rawPol.(*core.POPT); ok {
+	return builtCell{name: s.Name, h: h, hook: hook, rawPol: rawPol, reserve: reserve}
+}
+
+// sim builds the cell's live sink.
+func (b builtCell) sim() *trace.Sim { return trace.NewSim(b.h, b.hook) }
+
+// finish packages the cell's state after its stream has been consumed.
+func (b builtCell) finish(sim *trace.Sim) Result {
+	res := Result{Policy: b.name, H: b.h, Instructions: sim.Instructions, Reserved: b.reserve}
+	if p, ok := b.rawPol.(*core.POPT); ok {
 		res.Streamed = p.BytesStreamed
 		res.TieRate = p.TieRate()
 	}
 	return res
+}
+
+// RunWorkload simulates one (workload, setup) pair under c's cache config
+// and returns the result. The workload must be freshly built (its state is
+// consumed).
+func RunWorkload(c Config, w *kernels.Workload, s Setup) Result {
+	b := buildCell(c, w, s)
+	sim := b.sim()
+	w.Run(kernels.NewSinkRunner(sim))
+	return b.finish(sim)
+}
+
+// RecordWorkload simulates one (workload, setup) pair live while encoding
+// the emitted reference stream, returning both the result and the trace.
+// The reference stream depends only on the workload (graph + schedule),
+// never on the policy setup — hooks and filters observe the stream without
+// steering kernel control flow — so the returned trace can drive any other
+// setup via ReplayWorkload with results byte-identical to a live run.
+func RecordWorkload(c Config, w *kernels.Workload, s Setup) (Result, *trace.Trace) {
+	b := buildCell(c, w, s)
+	sim := b.sim()
+	enc := trace.NewEncoder()
+	w.Run(kernels.NewSinkRunner(trace.NewTee(sim, enc)))
+	return b.finish(sim), enc.Trace()
+}
+
+// ReplayWorkload feeds a recorded reference stream into setup s. w is only
+// consulted for its immutable build inputs (graph, transpose, irregular
+// array layout — what Setup.Make needs); its kernel state is not run, so
+// one consumed workload can serve any number of replays.
+func ReplayWorkload(c Config, w *kernels.Workload, tr *trace.Trace, s Setup) Result {
+	b := buildCell(c, w, s)
+	sim := b.sim()
+	tr.Replay(sim)
+	return b.finish(sim)
+}
+
+// RecordLLC simulates one (workload, setup) pair live while recording the
+// LLC-visible stream — the paper's own trace form: the demand accesses
+// that miss L2, the writebacks they push down, and the hook events
+// between them. L1/L2 run fixed Bit-PLRU and are never back-invalidated,
+// so this stream (and the instruction and L1/L2 statistic totals riding
+// in the trace) is identical under every LLC policy; ReplayLLC feeds it
+// to any other setup touching only the LLC.
+func RecordLLC(c Config, w *kernels.Workload, s Setup) (Result, *trace.LLCTrace) {
+	b := buildCell(c, w, s)
+	sim := b.sim()
+	enc := trace.NewLLCEncoder()
+	b.h.Tap = enc
+	w.Run(kernels.NewSinkRunner(trace.NewTee(sim, enc)))
+	b.h.Tap = nil
+	return b.finish(sim), enc.Trace(sim.Instructions, b.h.L1.Stats, b.h.L2.Stats)
+}
+
+// ReplayLLC feeds a recorded LLC-visible stream into setup s, simulating
+// only the LLC (the trace's L1/L2 statistics and instruction totals are
+// installed verbatim). Results are byte-identical to a live run — the
+// replay-equivalence golden pins this across the policy zoo. As with
+// ReplayWorkload, w is only consulted for immutable build inputs.
+func ReplayLLC(c Config, w *kernels.Workload, tr *trace.LLCTrace, s Setup) Result {
+	b := buildCell(c, w, s)
+	sim := b.sim()
+	tr.Replay(sim)
+	return b.finish(sim)
 }
 
 // pct formats a percentage.

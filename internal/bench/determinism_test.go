@@ -59,7 +59,7 @@ func determinismMatrix(t *testing.T) string {
 					st.Accesses, st.Hits, st.Misses, st.Evictions, st.Writebacks)
 			}
 			fmt.Fprintf(&sb, " dram(r=%d,w=%d) instr=%d reserved=%d streamed=%d\n",
-				h.DRAMReads, h.DRAMWrites, h.Instructions, res.Reserved, res.Streamed)
+				h.DRAMReads, h.DRAMWrites, res.Instructions, res.Reserved, res.Streamed)
 		}
 	}
 	return sb.String()

@@ -22,7 +22,7 @@ func Fig2(c Config) *Report {
 	}
 	suite := c.Suite()
 	results := sweepGrid(c, "fig2", suite, setups, func(g *graph.Graph, s Setup) Result {
-		return RunWorkload(c, kernels.NewPageRank(g), s)
+		return c.runStream(g, "PR", kernels.NewPageRank, s)
 	})
 	missRates := &Report{Header: rep.Header}
 	for gi, g := range suite {
@@ -75,7 +75,7 @@ func Fig4(c Config) *Report {
 	}
 	suite := c.Suite()
 	results := sweepGrid(c, "fig4", suite, setups, func(g *graph.Graph, s Setup) Result {
-		return RunWorkload(c, kernels.NewPageRank(g), s)
+		return c.runStream(g, "PR", kernels.NewPageRank, s)
 	})
 	var ratioSum float64
 	for gi, g := range suite {
@@ -119,7 +119,7 @@ func Fig7(c Config) *Report {
 	suite := c.Suite()
 	withBase := append([]Setup{DRRIPSetup()}, setups...)
 	results := sweepGrid(c, "fig7", suite, withBase, func(g *graph.Graph, s Setup) Result {
-		return RunWorkload(c, kernels.NewPageRank(g), s)
+		return c.runStream(g, "PR", kernels.NewPageRank, s)
 	})
 	for gi, g := range suite {
 		base := results[gi][0]
@@ -151,7 +151,7 @@ func Fig15(c Config) *Report {
 	suite := c.Suite()
 	withBase := append([]Setup{DRRIPSetup()}, setups...)
 	results := sweepGrid(c, "fig15", suite, withBase, func(g *graph.Graph, s Setup) Result {
-		return RunWorkload(c, kernels.NewPageRank(g), s)
+		return c.runStream(g, "PR", kernels.NewPageRank, s)
 	})
 	var tieSums [3]float64
 	for gi, g := range suite {
@@ -216,9 +216,12 @@ func Fig16(c Config) *Report {
 			cells = append(cells, Cell{
 				Key: "fig16/" + g.Name + "/" + v.label,
 				Run: func() {
+					// vc shares c's artifact cache, so all cache-shape
+					// variants of a graph replay one recorded stream (the
+					// reference stream does not depend on the hierarchy).
 					results[gi][vi] = cellOut{
-						base: RunWorkload(vc, kernels.NewPageRank(g), DRRIPSetup()),
-						popt: RunWorkload(vc, kernels.NewPageRank(g), POPTSetup(core.InterIntra, 8, true)),
+						base: vc.runStream(g, "PR", kernels.NewPageRank, DRRIPSetup()),
+						popt: vc.runStream(g, "PR", kernels.NewPageRank, POPTSetup(core.InterIntra, 8, true)),
 					}
 				},
 			})

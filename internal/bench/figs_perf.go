@@ -7,6 +7,7 @@ import (
 	"popt/internal/graph"
 	"popt/internal/kernels"
 	"popt/internal/perf"
+	"popt/internal/trace"
 )
 
 // Fig10 reproduces Figure 10, the headline result: speedup and LLC miss
@@ -52,7 +53,20 @@ func Fig10(c Config) *Report {
 				Key: "fig10/" + b.Name + "/" + g.Name,
 				Run: func() {
 					out := &results[bi][gi]
-					out.lru = RunWorkload(c, b.New(g), LRUSetup())
+					// The stream is private to this cell (no other cell pairs
+					// this kernel with this graph), so record/replay is
+					// cell-local: the LRU baseline records, the three compared
+					// setups replay, and the trace is garbage the moment the
+					// cell returns instead of pinning heap for the whole
+					// figure.
+					var w *kernels.Workload
+					var tr *trace.LLCTrace
+					if c.NoReplay {
+						out.lru = RunWorkload(c, b.New(g), LRUSetup())
+					} else {
+						w = b.New(g)
+						out.lru, tr = RecordLLC(c, w, LRUSetup())
+					}
 					if out.lru.H.LLC.Stats.Accesses < 1000 {
 						// Direction switching never produced a dense pull
 						// round on this input (the paper skips Radii on HBUBL
@@ -61,7 +75,11 @@ func Fig10(c Config) *Report {
 						return
 					}
 					for i, s := range setups {
-						out.res[i] = RunWorkload(c, b.New(g), s)
+						if c.NoReplay {
+							out.res[i] = RunWorkload(c, b.New(g), s)
+						} else {
+							out.res[i] = ReplayLLC(c, w, tr, s)
+						}
 					}
 				},
 			})
@@ -134,12 +152,15 @@ func Fig11(c Config) *Report {
 			Key: fmt.Sprintf("fig11/n=%d", n),
 			Run: func() {
 				g := graph.Uniform(n, 4*n, c.Seed)
-				results[i] = cellOut{
-					name: g.Name,
-					base: RunWorkload(c, kernels.NewPageRank(g), DRRIPSetup()),
-					popt: RunWorkload(c, kernels.NewPageRank(g), POPTSetup(core.InterIntra, 8, true)),
-					se:   RunWorkload(c, kernels.NewPageRank(g), POPTSetup(core.SingleEpoch, 8, true)),
-				}
+				// The graph is private to this cell, so record/replay is
+				// cell-local: DRRIP runs live and records, the P-OPT
+				// variants replay (no stream cache entry to pin the
+				// throwaway graph).
+				rs := c.runSetups(func() *kernels.Workload { return kernels.NewPageRank(g) },
+					DRRIPSetup(),
+					POPTSetup(core.InterIntra, 8, true),
+					POPTSetup(core.SingleEpoch, 8, true))
+				results[i] = cellOut{name: g.Name, base: rs[0], popt: rs[1], se: rs[2]}
 			},
 		}
 	}

@@ -7,7 +7,9 @@ import (
 	"popt/internal/core"
 	"popt/internal/graph"
 	"popt/internal/kernels"
+	"popt/internal/mem"
 	"popt/internal/sched"
+	"popt/internal/trace"
 )
 
 // GRASPSetup configures GRASP to protect the high-degree prefix of the
@@ -56,10 +58,11 @@ func Fig12a(c Config) *Report {
 			Run: func() {
 				g := graph.DBG(g0).Apply(g0)
 				out := &results[gi]
-				out.base = RunWorkload(c, kernels.NewPageRank(g), DRRIPSetup())
-				for _, s := range setups {
-					out.res = append(out.res, RunWorkload(c, kernels.NewPageRank(g), s))
-				}
+				// The reordered graph is cell-private: the DRRIP baseline
+				// records its stream, the compared setups replay it.
+				rs := c.runSetups(func() *kernels.Workload { return kernels.NewPageRank(g) },
+					append([]Setup{DRRIPSetup()}, setups...)...)
+				out.base, out.res = rs[0], rs[1:]
 			},
 		}
 	}
@@ -107,11 +110,15 @@ func Fig12b(c Config) *Report {
 			Key: "fig12b/" + g.Name,
 			Run: func() {
 				order := sched.BDFSOrder(g, 16)
+				// base/popt/topt share the vertex-ordered stream; BDFS runs
+				// a different schedule, hence a different stream, live.
+				rs := c.runSetups(func() *kernels.Workload { return kernels.NewPageRank(g) },
+					DRRIPSetup(), POPTSetup(core.InterIntra, 8, true), TOPTSetup())
 				results[gi] = cellOut{
-					base: RunWorkload(c, kernels.NewPageRank(g), DRRIPSetup()),
+					base: rs[0],
 					bdfs: RunWorkload(c, kernels.NewPageRankOrdered(g, order), DRRIPSetup()),
-					popt: RunWorkload(c, kernels.NewPageRank(g), POPTSetup(core.InterIntra, 8, true)),
-					topt: RunWorkload(c, kernels.NewPageRank(g), TOPTSetup()),
+					popt: rs[1],
+					topt: rs[2],
 				}
 			},
 		}
@@ -159,10 +166,11 @@ func Fig13(c Config) *Report {
 						tp := core.NewTiledPOPT(seg, w.Irregular[0], core.InterIntra, 8)
 						return tp, tp, tp.ReservedWays(cfg.LLCSize / (cfg.LLCWays * 64))
 					}}
-					results[gi][ti] = cellOut{
-						drrip: RunWorkload(c, kernels.NewPageRankTiled(g, seg), DRRIPSetup()),
-						popt:  RunWorkload(c, kernels.NewPageRankTiled(g, seg), poptSetup),
-					}
+					// The segmentation is cell-private; DRRIP records the
+					// tiled stream and P-OPT replays it.
+					rs := c.runSetups(func() *kernels.Workload { return kernels.NewPageRankTiled(g, seg) },
+						DRRIPSetup(), poptSetup)
+					results[gi][ti] = cellOut{drrip: rs[0], popt: rs[1]}
 				},
 			})
 		}
@@ -196,10 +204,12 @@ func Fig14(c Config) *Report {
 		},
 		Header: []string{"graph", "PB+DRRIP", "PB+P-OPT", "PHI+DRRIP", "PHI+P-OPT", "PHI coalesce"},
 	}
-	// One cell per (graph, variant): PB and PHI, each with and without
-	// P-OPT. The serial loop reported the coalesce rate of the last PHI
-	// variant it ran (PHI+P-OPT); assembly reads that cell's value to keep
-	// the report byte-identical.
+	// One cell per (graph, phase variant): PB and PHI, each cell pairing
+	// the DRRIP and P-OPT runs so DRRIP records the phase's reference
+	// stream and P-OPT replays it (the PHI coalescing filter lives on the
+	// sink, so both see the identical emitted stream). The serial loop
+	// reported the coalesce rate of the PHI+P-OPT run; assembly reads that
+	// slot's value to keep the report byte-identical.
 	suite := c.Suite()
 	type cellOut struct {
 		traffic  float64
@@ -208,28 +218,25 @@ func Fig14(c Config) *Report {
 	results := make([][4]cellOut, len(suite))
 	var cells []Cell
 	variants := []struct {
-		label   string
-		phi     bool
-		usePOPT bool
+		label string
+		phi   bool
 	}{
-		{"PB+DRRIP", false, false},
-		{"PB+P-OPT", false, true},
-		{"PHI+DRRIP", true, false},
-		{"PHI+P-OPT", true, true},
+		{"PB", false},
+		{"PHI", true},
 	}
 	for gi, g := range suite {
 		for vi, v := range variants {
 			cells = append(cells, Cell{
 				Key: "fig14/" + g.Name + "/" + v.label,
 				Run: func() {
-					out := &results[gi][vi]
-					if v.phi {
-						phase := sched.NewScatterPhase(g, false)
-						out.traffic = runUpdatePhaseWithPHI(c, phase, g, v.usePOPT, &out.coalesce)
-					} else {
-						phase := sched.NewBinningPhase(g, 16)
-						out.traffic = runUpdatePhase(c, phase, g, v.usePOPT, false)
+					mk := func() *sched.UpdatePhase {
+						if v.phi {
+							return sched.NewScatterPhase(g, false)
+						}
+						return sched.NewBinningPhase(g, 16)
 					}
+					base, popt := &results[gi][2*vi], &results[gi][2*vi+1]
+					base.traffic, popt.traffic = runUpdatePair(c, mk, g, v.phi, &popt.coalesce)
 				},
 			})
 		}
@@ -247,55 +254,74 @@ func Fig14(c Config) *Report {
 	return rep
 }
 
-// runUpdatePhase simulates an update phase and returns total DRAM traffic.
-func runUpdatePhase(c Config, phase *sched.UpdatePhase, g *graph.Graph, usePOPT, rmw bool) float64 {
-	var pol cache.Policy
-	cfg := c.cacheConfig(func() cache.Policy { return pol })
-	var hook core.VertexIndexed
-	reserve := 0
-	if usePOPT && phase.DstData != nil {
-		p := c.buildPOPT(&g.In, g.NumVertices(), core.InterIntra, 8, phase.DstData)
-		pol, hook = p, p
-		reserve = p.ReservedWays(cfg.LLCSize / (cfg.LLCWays * 64))
-	} else if usePOPT {
-		pol = cache.NewDRRIP(1) // P-OPT defers to its tie-breaker with no irregular stream
-	} else {
-		pol = cache.NewDRRIP(1)
-	}
-	h := cache.NewHierarchy(cfg)
-	if reserve > 0 && reserve < cfg.LLCWays {
-		h.LLC.Reserve(reserve)
-	}
-	r := kernels.NewRunner(h, hook)
-	phase.Run(r)
-	return float64(h.DRAMReads + h.DRAMWrites)
+// updateRun is one built update-phase simulation: the hierarchy, its live
+// sink, and (for PHI variants) the coalescing buffer wired in as the
+// sink's access filter.
+type updateRun struct {
+	h   *cache.Hierarchy
+	sim *trace.Sim
+	phi *sched.PHIBuffer
 }
 
-// runUpdatePhaseWithPHI simulates the scatter phase behind a PHI buffer.
-func runUpdatePhaseWithPHI(c Config, phase *sched.UpdatePhase, g *graph.Graph, usePOPT bool, coalesce *float64) float64 {
+// buildUpdateRun assembles the stack for one update-phase variant. dst is
+// the phase's destination array (nil for binning phases, whose traffic is
+// write-sequential and needs no irregular management); phiBuf adds PHI's
+// private-cache-sized aggregation buffer.
+func buildUpdateRun(c Config, g *graph.Graph, dst *mem.Array, usePOPT, phiBuf bool) updateRun {
 	var pol cache.Policy
 	cfg := c.cacheConfig(func() cache.Policy { return pol })
 	var hook core.VertexIndexed
 	reserve := 0
-	if usePOPT {
-		p := c.buildPOPT(&g.In, g.NumVertices(), core.InterIntra, 8, phase.DstData)
+	if usePOPT && dst != nil {
+		p := c.buildPOPT(&g.In, g.NumVertices(), core.InterIntra, 8, dst)
 		pol, hook = p, p
 		reserve = p.ReservedWays(cfg.LLCSize / (cfg.LLCWays * 64))
 	} else {
+		// Without an irregular stream P-OPT defers to its tie-breaker, so
+		// both seats run DRRIP.
 		pol = cache.NewDRRIP(1)
 	}
 	h := cache.NewHierarchy(cfg)
 	if reserve > 0 && reserve < cfg.LLCWays {
 		h.LLC.Reserve(reserve)
 	}
-	// PHI's aggregation buffer is private-cache sized (the L2 here).
-	phi := sched.NewPHIBuffer(h, phase.DstData, cfg.L2Size/64)
-	r := kernels.NewRunner(h, hook)
-	r.Filter = phi.Filter
-	phase.Run(r)
-	phi.Flush()
-	if coalesce != nil {
-		*coalesce = phi.CoalesceRate()
+	u := updateRun{h: h, sim: trace.NewSim(h, hook)}
+	if phiBuf {
+		// PHI's aggregation buffer is private-cache sized (the L2 here).
+		u.phi = sched.NewPHIBuffer(h, dst, cfg.L2Size/64)
+		u.sim.Filter = u.phi.Filter
 	}
-	return float64(h.DRAMReads + h.DRAMWrites)
+	return u
+}
+
+// finish flushes the PHI buffer (if any) and returns total DRAM traffic.
+func (u updateRun) finish(coalesce *float64) float64 {
+	if u.phi != nil {
+		u.phi.Flush()
+		if coalesce != nil {
+			*coalesce = u.phi.CoalesceRate()
+		}
+	}
+	return float64(u.h.DRAMReads + u.h.DRAMWrites)
+}
+
+// runUpdatePair simulates one update phase under DRRIP and under P-OPT
+// from a single phase execution: the DRRIP run executes the phase live
+// with an encoder teed on, and the P-OPT run replays the recorded stream.
+// Under NoReplay both runs execute fresh phases live, as before.
+func runUpdatePair(c Config, mk func() *sched.UpdatePhase, g *graph.Graph, phiBuf bool, coalesce *float64) (baseTraffic, poptTraffic float64) {
+	phase := mk()
+	base := buildUpdateRun(c, g, phase.DstData, false, phiBuf)
+	if c.NoReplay {
+		phase.Run(kernels.NewSinkRunner(base.sim))
+		p2 := mk()
+		popt := buildUpdateRun(c, g, p2.DstData, true, phiBuf)
+		p2.Run(kernels.NewSinkRunner(popt.sim))
+		return base.finish(nil), popt.finish(coalesce)
+	}
+	enc := trace.NewEncoder()
+	phase.Run(kernels.NewSinkRunner(trace.NewTee(base.sim, enc)))
+	popt := buildUpdateRun(c, g, phase.DstData, true, phiBuf)
+	enc.Trace().Replay(popt.sim)
+	return base.finish(nil), popt.finish(coalesce)
 }

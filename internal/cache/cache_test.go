@@ -472,17 +472,6 @@ func TestHierarchyWritebackReachesDRAM(t *testing.T) {
 	}
 }
 
-func TestHierarchyMPKI(t *testing.T) {
-	h := NewHierarchy(Scaled(func() Policy { return NewLRU() }))
-	h.Instructions = 1000
-	for i := 0; i < 10; i++ {
-		h.Access(acc(uint64(i) * 4096 * mem.LineSize))
-	}
-	if got := h.LLCMPKI(); got != 10 {
-		t.Errorf("MPKI = %v, want 10", got)
-	}
-}
-
 func TestNUCABankLocality(t *testing.T) {
 	banks := 8
 	irregBase := uint64(1) << 30

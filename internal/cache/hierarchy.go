@@ -82,15 +82,31 @@ type Hierarchy struct {
 	L1, L2, LLC *Level
 	// DRAMReads counts demand fills from memory, DRAMWrites counts dirty
 	// writebacks that reached memory. Their sum is the paper's "DRAM
-	// traffic".
+	// traffic". Instruction accounting (the MPKI denominator) lives with
+	// the event sink (trace.Sim), not here: the hierarchy only ever sees
+	// the references that reach it, and filters may absorb some.
 	DRAMReads, DRAMWrites uint64
-	// Instructions is maintained by the kernel runner and is the
-	// denominator of MPKI.
-	Instructions uint64
 	// PrefetchIssued/PrefetchFills count software/hardware prefetches
 	// (issued vs. actually fetched from DRAM); prefetch traffic is kept
 	// out of the demand Stats but adds to DRAMReads.
 	PrefetchIssued, PrefetchFills uint64
+	// Tap, when non-nil, observes the LLC-visible reference stream: every
+	// demand access that missed L2 (before the LLC sees it) and every
+	// writeback arriving at the LLC. Because L1 and L2 run fixed Bit-PLRU
+	// and the hierarchy is non-inclusive (the LLC never back-invalidates
+	// them), this stream is independent of the LLC policy — the trace
+	// package records it once and replays it into any policy's LLC.
+	Tap LLCTap
+}
+
+// LLCTap receives the LLC-visible stream during a live run; see
+// Hierarchy.Tap.
+type LLCTap interface {
+	// LLCAccess observes a demand access about to reach the LLC.
+	LLCAccess(acc mem.Access)
+	// LLCWriteback observes an upper-level dirty victim (line address)
+	// about to be offered to the LLC.
+	LLCWriteback(lineAddr uint64)
 }
 
 // NewHierarchy builds a hierarchy from cfg.
@@ -116,18 +132,26 @@ func (h *Hierarchy) Access(acc mem.Access) HitLevel {
 	level := HitDRAM
 	if h.L2.Access(acc) {
 		level = HitL2
-	} else if h.LLC.Access(acc) {
-		level = HitLLC
 	} else {
-		h.DRAMReads++
-		// Fill LLC; its victim may write back to DRAM.
-		if ev, ok := h.LLC.Fill(acc); ok && ev.Dirty {
-			h.DRAMWrites++
+		if h.Tap != nil {
+			h.Tap.LLCAccess(acc)
+		}
+		if h.LLC.Access(acc) {
+			level = HitLLC
+		} else {
+			h.DRAMReads++
+			// Fill LLC; its victim may write back to DRAM.
+			if ev, ok := h.LLC.Fill(acc); ok && ev.Dirty {
+				h.DRAMWrites++
+			}
 		}
 	}
 	if level == HitDRAM || level == HitLLC {
 		// Fill L2; victim writes back into LLC if present there.
 		if ev, ok := h.L2.Fill(acc); ok && ev.Dirty {
+			if h.Tap != nil {
+				h.Tap.LLCWriteback(ev.Addr)
+			}
 			if !h.LLC.MarkDirty(ev.Addr) {
 				h.DRAMWrites++
 			}
@@ -135,6 +159,9 @@ func (h *Hierarchy) Access(acc mem.Access) HitLevel {
 	}
 	if ev, ok := h.L1.Fill(acc); ok && ev.Dirty {
 		if !h.L2.MarkDirty(ev.Addr) {
+			if h.Tap != nil {
+				h.Tap.LLCWriteback(ev.Addr)
+			}
 			if !h.LLC.MarkDirty(ev.Addr) {
 				h.DRAMWrites++
 			}
@@ -168,15 +195,6 @@ func (h *Hierarchy) Prefetch(acc mem.Access) {
 	}
 }
 
-// LLCMPKI returns LLC misses per kilo-instruction, the paper's primary
-// locality metric (Fig. 2, 4).
-func (h *Hierarchy) LLCMPKI() float64 {
-	if h.Instructions == 0 {
-		return 0
-	}
-	return float64(h.LLC.Stats.Misses) / (float64(h.Instructions) / 1000)
-}
-
 // LLCMissRate returns the LLC local miss ratio.
 func (h *Hierarchy) LLCMissRate() float64 { return h.LLC.Stats.MissRate() }
 
@@ -189,6 +207,6 @@ func (h *Hierarchy) Summary() string {
 		fmt.Fprintf(&out, "%-4s accesses=%-12d misses=%-12d missRate=%5.1f%%\n",
 			l.Name, l.Stats.Accesses, l.Stats.Misses, 100*l.Stats.MissRate())
 	}
-	fmt.Fprintf(&out, "DRAM reads=%d writes=%d  LLC MPKI=%.2f\n", h.DRAMReads, h.DRAMWrites, h.LLCMPKI())
+	fmt.Fprintf(&out, "DRAM reads=%d writes=%d\n", h.DRAMReads, h.DRAMWrites)
 	return out.String()
 }

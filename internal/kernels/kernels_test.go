@@ -100,7 +100,7 @@ func TestKernelsDriveHierarchy(t *testing.T) {
 			if err := w.Check(); err != nil {
 				t.Fatalf("results corrupted by instrumentation: %v", err)
 			}
-			if h.Instructions == 0 || h.L1.Stats.Accesses == 0 {
+			if r.Sim().Instructions == 0 || h.L1.Stats.Accesses == 0 {
 				t.Fatal("kernel produced no memory trace")
 			}
 			if h.LLC.Stats.Accesses == 0 {
@@ -228,15 +228,18 @@ func TestRunnerInstructionAccounting(t *testing.T) {
 	r.Load(a, 0, 1)
 	r.Store(a, 1, 2)
 	r.Tick(3)
-	if h.Instructions != 5 {
-		t.Errorf("Instructions = %d, want 5", h.Instructions)
+	if got := r.Sim().Instructions; got != 5 {
+		t.Errorf("Instructions = %d, want 5", got)
 	}
 }
 
 func TestRunnerFilterAbsorbsAccesses(t *testing.T) {
+	// Regression: a filter absorbs the reference but the instruction still
+	// retires — the MPKI denominator must not depend on what the filter
+	// swallows (the PHI model relies on this).
 	h := newTinyHierarchy(func() cache.Policy { return cache.NewLRU() })
 	r := NewRunner(h, nil)
-	r.Filter = func(acc mem.Access) bool { return acc.Write }
+	r.Sim().Filter = func(acc mem.Access) bool { return acc.Write }
 	sp := mem.NewSpace()
 	a := sp.AllocBytes("a", 16, 4, false)
 	r.Store(a, 0, 1) // absorbed
@@ -244,8 +247,8 @@ func TestRunnerFilterAbsorbsAccesses(t *testing.T) {
 	if h.L1.Stats.Accesses != 1 {
 		t.Errorf("L1 accesses = %d, want 1 (write absorbed)", h.L1.Stats.Accesses)
 	}
-	if h.Instructions != 2 {
-		t.Errorf("Instructions = %d, want 2", h.Instructions)
+	if got := r.Sim().Instructions; got != 2 {
+		t.Errorf("Instructions = %d, want 2", got)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"popt/internal/core"
 	"popt/internal/graph"
 	"popt/internal/mem"
+	"popt/internal/trace"
 )
 
 // PullDensityThreshold is the frontier density below which a
@@ -63,111 +64,109 @@ const (
 	PCCompWrite
 )
 
-// Runner threads kernel memory references into a cache hierarchy and
-// forwards outer-loop progress to vertex-indexed policies (the
-// update_index instruction). A nil Runner method receiver is not
-// supported; a Runner with a nil hierarchy performs pure computation
-// (used by golden-model runs and preprocessing timing).
+// Runner is the kernel-side emitter of the typed event stream: each
+// Load/Store/SetVertex/... call becomes one trace.Sink event. The sink
+// decides what the stream means — live simulation (trace.Sim), recording
+// (trace.Encoder), capture for locality analysis, or a Tee of several. A
+// zero Runner (nil sink) performs pure computation: golden-model runs and
+// preprocessing timing use it.
 type Runner struct {
-	H *cache.Hierarchy
-	// Hook receives update_index events (P-OPT / T-OPT); nil otherwise.
-	Hook core.VertexIndexed
-	// Filter, when set, may absorb an access before it reaches the
-	// hierarchy (returns true if absorbed). The PHI model uses this to
-	// coalesce commutative updates in-cache.
-	Filter func(acc mem.Access) bool
+	sink trace.Sink
 
-	// muted suppresses simulation (accesses, instructions, hooks) while
+	// muted suppresses emission (accesses, instructions, hooks) while
 	// computation proceeds. Frontier kernels mute their sparse rounds:
 	// direction-switching executes those in push mode, and — like the
 	// paper, which samples only pull iterations in detail — we exclude
 	// them from the simulated reference stream for every policy alike.
+	// Mute/Unmute boundary markers are emitted on each transition so
+	// recorded streams keep the round structure visible.
 	muted bool
 }
 
-// NewRunner builds a runner over h. hook may be nil.
+// NewRunner builds a runner emitting into a live simulation over h (see
+// trace.Sim). hook may be nil. Use NewSinkRunner to emit into any other
+// sink; use Sim to reach the live sink's instruction counter and filter.
 func NewRunner(h *cache.Hierarchy, hook core.VertexIndexed) *Runner {
-	return &Runner{H: h, Hook: hook}
+	return &Runner{sink: trace.NewSim(h, hook)}
+}
+
+// NewSinkRunner builds a runner emitting into s.
+func NewSinkRunner(s trace.Sink) *Runner {
+	return &Runner{sink: s}
+}
+
+// Sim returns the live sink a NewRunner-built runner emits into, or nil
+// for sink-less and custom-sink runners.
+func (r *Runner) Sim() *trace.Sim {
+	s, _ := r.sink.(*trace.Sim)
+	return s
 }
 
 // SetVertex reports the outer-loop vertex currently being processed.
 //
 //popt:hot
 func (r *Runner) SetVertex(v graph.V) {
-	if r.Hook != nil && !r.muted {
-		r.Hook.UpdateIndex(v)
+	if r.sink != nil && !r.muted {
+		r.sink.SetVertex(v)
 	}
 }
 
-// SetMuted switches simulation off (true) or on (false); see muted.
-func (r *Runner) SetMuted(m bool) { r.muted = m }
-
-// epochResetter is implemented by P-OPT, whose streaming engine re-fetches
-// the first column when a traversal restarts.
-type epochResetter interface{ ResetEpoch() }
-
-// tileSetter is implemented by tile-switching policies (core.TilePolicy).
-type tileSetter interface{ SetTile(int) }
+// SetMuted switches emission off (true) or on (false); see muted.
+func (r *Runner) SetMuted(m bool) {
+	if r.muted == m {
+		return
+	}
+	r.muted = m
+	if r.sink == nil {
+		return
+	}
+	if m {
+		r.sink.Mute()
+	} else {
+		r.sink.Unmute()
+	}
+}
 
 // SetTile reports that a segmented kernel moved to tile t.
 func (r *Runner) SetTile(t int) {
-	if ts, ok := r.Hook.(tileSetter); ok {
-		ts.SetTile(t)
+	if r.sink != nil {
+		r.sink.SetTile(t)
 	}
 }
 
 // StartIteration marks the beginning of a fresh pass over the vertices.
 func (r *Runner) StartIteration() {
-	if r.muted {
-		return
+	if r.sink != nil && !r.muted {
+		r.sink.StartIteration()
 	}
-	if er, ok := r.Hook.(epochResetter); ok {
-		er.ResetEpoch()
-	} else {
-		r.SetVertex(0)
-	}
-}
-
-// access forwards one reference to the hierarchy, charging an instruction.
-//
-//popt:hot
-func (r *Runner) access(acc mem.Access) {
-	if r.H == nil || r.muted {
-		return
-	}
-	r.H.Instructions++
-	if r.Filter != nil && r.Filter(acc) {
-		return
-	}
-	r.H.Access(acc)
 }
 
 // Load issues a read of element i of a.
 //
 //popt:hot
 func (r *Runner) Load(a *mem.Array, i int, pc uint16) {
-	if r.H == nil || r.muted {
+	if r.sink == nil || r.muted {
 		return
 	}
-	r.access(mem.Access{Addr: a.Addr(i), PC: pc})
+	r.sink.Access(mem.Access{Addr: a.Addr(i), PC: pc})
 }
 
 // Store issues a write of element i of a.
 //
 //popt:hot
 func (r *Runner) Store(a *mem.Array, i int, pc uint16) {
-	if r.H == nil || r.muted {
+	if r.sink == nil || r.muted {
 		return
 	}
-	r.access(mem.Access{Addr: a.Addr(i), PC: pc, Write: true})
+	r.sink.Access(mem.Access{Addr: a.Addr(i), PC: pc, Write: true})
 }
 
 // Tick accounts n non-memory instructions.
 //
 //popt:hot
 func (r *Runner) Tick(n uint64) {
-	if r.H != nil && !r.muted {
-		r.H.Instructions += n
+	if r.sink != nil && !r.muted {
+		r.sink.Tick(n)
 	}
 }
 

@@ -21,6 +21,7 @@ var SimPackages = []string{
 	"popt/internal/sched",
 	"popt/internal/multicore",
 	"popt/internal/bench",
+	"popt/internal/trace",
 }
 
 // randSourceless are math/rand package-level functions that do NOT draw

@@ -88,10 +88,12 @@ func (b Breakdown) String() string {
 }
 
 // Model computes the cycle breakdown for a finished simulation.
-// streamedBytes is P-OPT's Rereference Matrix traffic (0 otherwise).
-func Model(h *cache.Hierarchy, streamedBytes uint64, p Params) Breakdown {
+// instructions is the retired-instruction count (owned by the run's
+// trace.Sim); streamedBytes is P-OPT's Rereference Matrix traffic (0
+// otherwise).
+func Model(h *cache.Hierarchy, instructions, streamedBytes uint64, p Params) Breakdown {
 	var b Breakdown
-	b.ComputeCycles = float64(h.Instructions) / p.BaseIPC
+	b.ComputeCycles = float64(instructions) / p.BaseIPC
 	b.L2Stall = float64(h.L2.Stats.Hits) * p.L2Latency / p.MLP
 	b.LLCStall = float64(h.LLC.Stats.Hits) * p.LLCLatency / p.MLP
 	// Every DRAM transfer (demand read or writeback) occupies the memory

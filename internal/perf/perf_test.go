@@ -36,13 +36,12 @@ func TestModelChargesEachComponent(t *testing.T) {
 		L2:  cache.NewLevel("L2", 2048, 4, cache.NewLRU()),
 		LLC: cache.NewLevel("LLC", 4096, 4, cache.NewLRU()),
 	}
-	h.Instructions = 2000
 	h.L2.Stats.Hits = 140  //lint:allow statsdiscipline (test fixture)
 	h.LLC.Stats.Hits = 140 //lint:allow statsdiscipline (test fixture)
 	h.DRAMReads = 100
 	h.DRAMWrites = 20
 	p := Default()
-	b := Model(h, 1600, p)
+	b := Model(h, 2000, 1600, p)
 	if b.ComputeCycles != 2000/p.BaseIPC {
 		t.Errorf("compute = %v, want %v", b.ComputeCycles, 2000/p.BaseIPC)
 	}
@@ -72,8 +71,9 @@ func TestCalibrationDRAMBound(t *testing.T) {
 		LLCSize: 32 << 10, LLCWays: 16, // ~4x smaller than irregData, like the default scale
 		LLCPolicy: func() cache.Policy { return cache.NewLRU() },
 	})
-	w.Run(kernels.NewRunner(h, nil))
-	b := Model(h, 0, Default())
+	r := kernels.NewRunner(h, nil)
+	w.Run(r)
+	b := Model(h, r.Sim().Instructions, 0, Default())
 	frac := b.DRAMFraction()
 	t.Logf("breakdown: %v", b)
 	if frac < 0.6 || frac > 0.85 {

@@ -138,7 +138,7 @@ func TestPHICoalescesMoreOnSkewedGraphs(t *testing.T) {
 		phase := NewScatterPhase(g, false)
 		phi := NewPHIBuffer(h, phase.DstData, 256)
 		r := kernels.NewRunner(h, nil)
-		r.Filter = phi.Filter
+		r.Sim().Filter = phi.Filter
 		phase.Run(r)
 		phi.Flush()
 		return phi.CoalesceRate()

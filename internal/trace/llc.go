@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"popt/internal/cache"
+	"popt/internal/graph"
+	"popt/internal/mem"
+)
+
+// This file implements the LLC-visible trace, the form the paper's own
+// pipeline records (Section VI: the Pin tool logs the reference stream
+// the LLC observes, and each policy is simulated against that one log).
+// L1 and L2 run fixed Bit-PLRU and the hierarchy never back-invalidates
+// them, so the stream of demand accesses that miss L2 — plus the dirty
+// victims those misses push down — is identical under every LLC policy.
+// Recording it once per workload lets each additional policy setup
+// replay against only the LLC: the upper levels are neither re-simulated
+// nor rebuilt, which is where the sweep engine's wall-clock win comes
+// from. Hook events (SetVertex, StartIteration, SetTile) stay in the
+// stream because vertex-indexed policies consume them; instruction
+// counts and the L1/L2 statistics are totals, invariant across setups,
+// and ride in the trace header instead of the event stream.
+
+// LLC-stream opcodes, in the low nibble of the first byte. Access events
+// carry the PC in the high nibble exactly like the full-stream format
+// (hi = PC+1, pcEscape = explicit uvarint PC).
+const (
+	lopAccessR byte = iota + 1 // [hi: PC+1 | escape] zigzag delta address
+	lopAccessW                 // [hi: PC+1 | escape] zigzag delta address
+	lopWB                      // zigzag delta line address
+	lopSetVertex               // zigzag delta vertex
+	lopStartIteration
+	lopSetTile // uvarint tile
+)
+
+// LLCStats describes a recorded LLC-visible stream.
+type LLCStats struct {
+	// Accesses counts demand references that reached the LLC; Writes of
+	// them are stores.
+	Accesses uint64
+	Writes   uint64
+	// Writebacks counts upper-level dirty victims offered to the LLC.
+	Writebacks uint64
+	// VertexUpdates, Iterations and TileSwitches count hook events.
+	VertexUpdates uint64
+	Iterations    uint64
+	TileSwitches  uint64
+}
+
+// Events returns the total encoded event count.
+func (s LLCStats) Events() uint64 {
+	return s.Accesses + s.Writebacks + s.VertexUpdates + s.Iterations + s.TileSwitches
+}
+
+// LLCEncoder records the LLC-visible stream of one live run. It plugs
+// into two observation points at once: as the hierarchy's Tap it sees
+// LLC accesses and writebacks, and as a Sink (teed behind the live Sim)
+// it sees the hook events that must stay ordered relative to them. The
+// Sink-side Access/Tick/Mute events carry no LLC-visible information and
+// are dropped — their one consumer, the instruction counter, is a total
+// the finished trace copies from the recording Sim.
+type LLCEncoder struct {
+	Nop
+	buf    []byte
+	last   [pcSlots]uint64 // previous access address per PC slot
+	lastWB uint64          // previous writeback line address
+	lastV  graph.V
+	stats  LLCStats
+}
+
+// NewLLCEncoder returns an empty LLC-stream encoder.
+func NewLLCEncoder() *LLCEncoder {
+	return &LLCEncoder{buf: make([]byte, 0, 64 << 10)}
+}
+
+// LLCAccess implements cache.LLCTap.
+//
+//popt:hot
+func (e *LLCEncoder) LLCAccess(acc mem.Access) {
+	op := lopAccessR
+	if acc.Write {
+		op = lopAccessW
+		e.stats.Writes++
+	}
+	e.stats.Accesses++
+	if acc.PC <= pcInline {
+		e.buf = append(e.buf, op|byte(acc.PC+1)<<4)
+	} else {
+		e.buf = append(e.buf, op|pcEscape<<4)
+		e.buf = appendUvarint(e.buf, uint64(acc.PC))
+	}
+	slot := acc.PC % pcSlots
+	e.buf = appendVarint(e.buf, int64(acc.Addr-e.last[slot]))
+	e.last[slot] = acc.Addr
+}
+
+// LLCWriteback implements cache.LLCTap.
+//
+//popt:hot
+func (e *LLCEncoder) LLCWriteback(lineAddr uint64) {
+	e.stats.Writebacks++
+	e.buf = append(e.buf, lopWB)
+	e.buf = appendVarint(e.buf, int64(lineAddr-e.lastWB))
+	e.lastWB = lineAddr
+}
+
+// SetVertex implements Sink.
+//
+//popt:hot
+func (e *LLCEncoder) SetVertex(v graph.V) {
+	e.stats.VertexUpdates++
+	e.buf = append(e.buf, lopSetVertex)
+	e.buf = appendVarint(e.buf, int64(v)-int64(e.lastV))
+	e.lastV = v
+}
+
+// StartIteration implements Sink.
+func (e *LLCEncoder) StartIteration() {
+	e.stats.Iterations++
+	e.buf = append(e.buf, lopStartIteration)
+}
+
+// SetTile implements Sink.
+func (e *LLCEncoder) SetTile(t int) {
+	e.stats.TileSwitches++
+	e.buf = append(e.buf, lopSetTile)
+	e.buf = appendUvarint(e.buf, uint64(t))
+}
+
+// Trace finalizes the encoder. instructions is the recording run's
+// retired-instruction total and l1, l2 its upper-level statistics; all
+// three are invariant across LLC policy setups, so replays install them
+// directly. The encoder must not be used after Trace is called.
+func (e *LLCEncoder) Trace(instructions uint64, l1, l2 cache.Stats) *LLCTrace {
+	return &LLCTrace{data: e.buf, instructions: instructions, l1: l1, l2: l2, stats: e.stats}
+}
+
+// LLCTrace is an immutable encoded LLC-visible stream plus the
+// setup-invariant totals of the run that recorded it. It is safe to
+// replay from multiple goroutines concurrently.
+type LLCTrace struct {
+	data         []byte
+	instructions uint64
+	l1, l2       cache.Stats
+	stats        LLCStats
+}
+
+// Size returns the encoded size in bytes.
+func (t *LLCTrace) Size() int { return len(t.data) }
+
+// Stats returns the stream's event statistics.
+func (t *LLCTrace) Stats() LLCStats { return t.stats }
+
+// BytesPerEvent returns the encoded density.
+func (t *LLCTrace) BytesPerEvent() float64 {
+	n := t.stats.Events()
+	if n == 0 {
+		return 0
+	}
+	return float64(len(t.data)) / float64(n)
+}
+
+// Replay drives sim's LLC with the recorded stream and installs the
+// setup-invariant totals (instructions, L1/L2 statistics), reproducing a
+// live run byte-for-byte on every counter — the replay-equivalence
+// golden in internal/bench pins this across the policy zoo. The demand
+// and writeback handling below mirrors cache.Hierarchy.Access's LLC
+// branches exactly.
+//
+//popt:hot
+func (t *LLCTrace) Replay(sim *Sim) {
+	h := sim.H
+	llc := h.LLC
+	var last [pcSlots]uint64
+	var lastWB uint64
+	var lastV graph.V
+	data := t.data
+	i := 0
+	for i < len(data) {
+		b := data[i]
+		i++
+		op := b & opMask
+		switch op {
+		case lopAccessR, lopAccessW:
+			var pc uint64
+			if hi := b >> 4; hi != pcEscape {
+				pc = uint64(hi - 1)
+			} else {
+				pc, i = uvarint(data, i)
+			}
+			var d int64
+			if i < len(data) && data[i] < 0x80 {
+				ux := uint64(data[i])
+				d = int64(ux>>1) ^ -int64(ux&1)
+				i++
+			} else {
+				d, i = varint(data, i)
+			}
+			slot := uint16(pc) % pcSlots
+			addr := last[slot] + uint64(d)
+			last[slot] = addr
+			acc := mem.Access{Addr: addr, PC: uint16(pc), Write: op == lopAccessW}
+			if !llc.Access(acc) {
+				h.DRAMReads++
+				if ev, ok := llc.Fill(acc); ok && ev.Dirty {
+					h.DRAMWrites++
+				}
+			}
+		case lopWB:
+			d, n := varint(data, i)
+			i = n
+			lastWB += uint64(d)
+			if !llc.MarkDirty(lastWB) {
+				h.DRAMWrites++
+			}
+		case lopSetVertex:
+			d, n := varint(data, i)
+			i = n
+			lastV = graph.V(int64(lastV) + d)
+			sim.SetVertex(lastV)
+		case lopStartIteration:
+			sim.StartIteration()
+		case lopSetTile:
+			tl, n := uvarint(data, i)
+			i = n
+			sim.SetTile(int(tl))
+		default:
+			badOp(op, i-1)
+		}
+	}
+	sim.Instructions += t.instructions
+	h.L1.Stats.Add(t.l1)
+	h.L2.Stats.Add(t.l2)
+}

@@ -1,0 +1,424 @@
+package trace
+
+import (
+	"fmt"
+
+	"popt/internal/graph"
+	"popt/internal/mem"
+)
+
+// Event opcodes of the encoded stream, in the low nibble of the first
+// byte, followed by the event's varint payload (if any). For access
+// events the high nibble inlines the PC: hi = PC+1 for PC <= 13, hi = 15
+// marks an escaped uvarint PC before the delta. Kernel PC site ids are
+// single digits (kernels.PCOffsets..PCCompWrite), so in practice every
+// access costs one opcode byte plus its address delta.
+const (
+	opAccessR byte = iota + 1 // [hi: PC+1 | escape] zigzag delta address
+	opAccessW                 // [hi: PC+1 | escape] zigzag delta address
+	opSetVertex               // zigzag delta vertex
+	opStartIteration
+	opSetTile // uvarint tile
+	opMute
+	opUnmute
+	opTick // uvarint coalesced instruction count
+
+	// Kernels alternate Tick(compute) with Load/Store, so pending ticks
+	// usually flush right before an access. These merged opcodes carry
+	// the tick count inside the access event ([escaped PC,] uvarint
+	// ticks, zigzag delta), halving both the opcode bytes and the decode
+	// iterations of the dominant event pattern. Replay delivers them as
+	// Tick(n) then Access, exactly like the unmerged pair.
+	opAccessRT // Tick + read access
+	opAccessWT // Tick + write access
+
+	opMask   byte = 0x0f
+	pcEscape byte = 15 // high-nibble marker: uvarint PC follows
+	pcInline      = 13 // largest PC the high nibble can carry
+)
+
+// Stats describes a recorded stream for reporting (poptsim -dumptrace).
+type Stats struct {
+	// Accesses counts Access events; Writes of them are stores.
+	Accesses uint64
+	Writes   uint64
+	// VertexUpdates counts SetVertex events (update_index instructions).
+	VertexUpdates uint64
+	// Iterations counts StartIteration events.
+	Iterations uint64
+	// TileSwitches counts SetTile events.
+	TileSwitches uint64
+	// MutedRegions counts Mute markers (sparse rounds excluded from
+	// detailed simulation).
+	MutedRegions uint64
+	// TickEvents counts Tick events after coalescing, whether encoded
+	// standalone or carried by a merged tick+access opcode; TickedInstrs
+	// is the sum of their arguments (adjacent ticks merge, the totals
+	// are preserved).
+	TickEvents   uint64
+	TickedInstrs uint64
+}
+
+// Events returns the total encoded event count.
+func (s Stats) Events() uint64 {
+	return s.Accesses + s.VertexUpdates + s.Iterations + s.TileSwitches +
+		2*s.MutedRegions + s.TickEvents
+}
+
+// Encoder is a Sink that serializes the event stream into a compact
+// in-memory byte form. Addresses are delta-encoded against the previous
+// access from the same PC slot (each static load/store site walks its own
+// array, so same-site deltas are tiny even though sites interleave);
+// vertices are delta-encoded against the previous vertex; all integers are
+// zigzag/LEB128 varints. Adjacent Tick events coalesce into one, which
+// preserves instruction totals — the only thing ticks feed — while
+// shrinking the stream by the dominant event class.
+type Encoder struct {
+	buf     []byte
+	last    [pcSlots]uint64 // previous address per PC slot
+	lastV   graph.V
+	pending uint64 // coalesced ticks not yet flushed
+	stats   Stats
+}
+
+// pcSlots is the size of the per-PC delta context. PCs above the slot
+// count share slot pc%pcSlots — encoder and decoder apply the same rule,
+// so collisions only cost larger deltas, never correctness.
+const pcSlots = 256
+
+// NewEncoder returns an empty encoder. The buffer starts at 64 KiB —
+// around two bytes per event, even short kernel runs emit tens of
+// thousands of events, so this skips the noisy small-growth copies.
+func NewEncoder() *Encoder {
+	return &Encoder{buf: make([]byte, 0, 64<<10)}
+}
+
+// appendUvarint appends x in LEB128 form.
+//
+//popt:hot
+func appendUvarint(buf []byte, x uint64) []byte {
+	for x >= 0x80 {
+		buf = append(buf, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(buf, byte(x))
+}
+
+// appendVarint appends x zigzag-encoded.
+//
+//popt:hot
+func appendVarint(buf []byte, x int64) []byte {
+	return appendUvarint(buf, uint64(x)<<1^uint64(x>>63))
+}
+
+// flushTicks emits the pending coalesced Tick event, if any.
+func (e *Encoder) flushTicks() {
+	if e.pending == 0 {
+		return
+	}
+	e.buf = append(e.buf, opTick)
+	e.buf = appendUvarint(e.buf, e.pending)
+	e.stats.TickEvents++
+	e.pending = 0
+}
+
+// Access implements Sink.
+//
+//popt:hot
+func (e *Encoder) Access(acc mem.Access) {
+	op := opAccessR
+	if acc.Write {
+		op = opAccessW
+		e.stats.Writes++
+	}
+	e.stats.Accesses++
+	pending := e.pending
+	if pending != 0 {
+		op += opAccessRT - opAccessR
+		e.stats.TickEvents++
+		e.pending = 0
+	}
+	if acc.PC <= pcInline {
+		e.buf = append(e.buf, op|byte(acc.PC+1)<<4)
+	} else {
+		e.buf = append(e.buf, op|pcEscape<<4)
+		e.buf = appendUvarint(e.buf, uint64(acc.PC))
+	}
+	if pending != 0 {
+		e.buf = appendUvarint(e.buf, pending)
+	}
+	slot := acc.PC % pcSlots
+	e.buf = appendVarint(e.buf, int64(acc.Addr - e.last[slot]))
+	e.last[slot] = acc.Addr
+}
+
+// SetVertex implements Sink.
+//
+//popt:hot
+func (e *Encoder) SetVertex(v graph.V) {
+	if e.pending != 0 {
+		e.flushTicks()
+	}
+	e.stats.VertexUpdates++
+	e.buf = append(e.buf, opSetVertex)
+	e.buf = appendVarint(e.buf, int64(v) - int64(e.lastV))
+	e.lastV = v
+}
+
+// StartIteration implements Sink.
+func (e *Encoder) StartIteration() {
+	e.flushTicks()
+	e.stats.Iterations++
+	e.buf = append(e.buf, opStartIteration)
+}
+
+// SetTile implements Sink.
+func (e *Encoder) SetTile(t int) {
+	e.flushTicks()
+	e.stats.TileSwitches++
+	e.buf = append(e.buf, opSetTile)
+	e.buf = appendUvarint(e.buf, uint64(t))
+}
+
+// Mute implements Sink.
+func (e *Encoder) Mute() {
+	e.flushTicks()
+	e.stats.MutedRegions++
+	e.buf = append(e.buf, opMute)
+}
+
+// Unmute implements Sink.
+func (e *Encoder) Unmute() {
+	e.flushTicks()
+	e.buf = append(e.buf, opUnmute)
+}
+
+// Tick implements Sink: adjacent ticks coalesce until the next non-tick
+// event.
+//
+//popt:hot
+func (e *Encoder) Tick(n uint64) {
+	e.pending += n
+	e.stats.TickedInstrs += n
+}
+
+// Trace finalizes the encoder and returns the encoded stream. The encoder
+// must not be used after Trace is called.
+func (e *Encoder) Trace() *Trace {
+	e.flushTicks()
+	return &Trace{data: e.buf, stats: e.stats}
+}
+
+// Trace is an immutable encoded reference stream. It is safe to replay
+// from multiple goroutines concurrently (each Replay carries its own
+// decode state).
+type Trace struct {
+	data  []byte
+	stats Stats
+}
+
+// Size returns the encoded size in bytes.
+func (t *Trace) Size() int { return len(t.data) }
+
+// Stats returns the stream's event statistics.
+func (t *Trace) Stats() Stats { return t.stats }
+
+// BytesPerEvent returns the encoded density.
+func (t *Trace) BytesPerEvent() float64 {
+	n := t.stats.Events()
+	if n == 0 {
+		return 0
+	}
+	return float64(len(t.data)) / float64(n)
+}
+
+// Replay decodes the stream and delivers every event to s in recorded
+// order. Replaying into a live Sim is byte-identical to the live run that
+// recorded the trace (the replay-equivalence golden pins this for the
+// whole policy zoo).
+//
+//popt:hot
+func (t *Trace) Replay(s Sink) {
+	if sim, ok := s.(*Sim); ok && sim.H != nil {
+		// Production replays always land in a live Sim; the specialized
+		// loop devirtualizes the per-event dispatch and keeps the
+		// instruction counter in a register.
+		t.replaySim(sim)
+		return
+	}
+	var last [pcSlots]uint64
+	var lastV graph.V
+	data := t.data
+	i := 0
+	for i < len(data) {
+		b := data[i]
+		i++
+		op := b & opMask
+		switch op {
+		case opAccessR, opAccessW, opAccessRT, opAccessWT:
+			var pc uint64
+			if hi := b >> 4; hi != pcEscape {
+				pc = uint64(hi - 1)
+			} else {
+				pc, i = uvarint(data, i)
+			}
+			if op >= opAccessRT {
+				var ticks uint64
+				ticks, i = uvarint(data, i)
+				s.Tick(ticks)
+			}
+			// Inline the one-byte zigzag fast path: same-site strides
+			// are small, so most deltas fit seven bits.
+			var d int64
+			if i < len(data) && data[i] < 0x80 {
+				ux := uint64(data[i])
+				d = int64(ux>>1) ^ -int64(ux&1)
+				i++
+			} else {
+				d, i = varint(data, i)
+			}
+			slot := uint16(pc) % pcSlots
+			addr := last[slot] + uint64(d)
+			last[slot] = addr
+			s.Access(mem.Access{Addr: addr, PC: uint16(pc), Write: op == opAccessW || op == opAccessWT})
+		case opSetVertex:
+			d, n := varint(data, i)
+			i = n
+			lastV = graph.V(int64(lastV) + d)
+			s.SetVertex(lastV)
+		case opStartIteration:
+			s.StartIteration()
+		case opSetTile:
+			tl, n := uvarint(data, i)
+			i = n
+			s.SetTile(int(tl))
+		case opMute:
+			s.Mute()
+		case opUnmute:
+			s.Unmute()
+		case opTick:
+			ticks, n := uvarint(data, i)
+			i = n
+			s.Tick(ticks)
+		default:
+			badOp(op, i-1)
+		}
+	}
+}
+
+// replaySim is Replay specialized for a live *Sim sink with a hierarchy:
+// hierarchy accesses become direct calls and instruction accounting stays
+// local until the end. The decode logic must stay in lockstep with the
+// generic loop above; the replay-equivalence golden (internal/bench)
+// exercises this path against live runs while the encoder round-trip test
+// exercises the generic one against raw event lists.
+//
+//popt:hot
+func (t *Trace) replaySim(s *Sim) {
+	var last [pcSlots]uint64
+	var lastV graph.V
+	h := s.H
+	filter := s.Filter
+	instr := s.Instructions
+	data := t.data
+	i := 0
+	for i < len(data) {
+		b := data[i]
+		i++
+		op := b & opMask
+		switch op {
+		case opAccessR, opAccessW, opAccessRT, opAccessWT:
+			var pc uint64
+			if hi := b >> 4; hi != pcEscape {
+				pc = uint64(hi - 1)
+			} else {
+				pc, i = uvarint(data, i)
+			}
+			if op >= opAccessRT {
+				var ticks uint64
+				ticks, i = uvarint(data, i)
+				instr += ticks
+			}
+			var d int64
+			if i < len(data) && data[i] < 0x80 {
+				ux := uint64(data[i])
+				d = int64(ux>>1) ^ -int64(ux&1)
+				i++
+			} else {
+				d, i = varint(data, i)
+			}
+			slot := uint16(pc) % pcSlots
+			addr := last[slot] + uint64(d)
+			last[slot] = addr
+			acc := mem.Access{Addr: addr, PC: uint16(pc), Write: op == opAccessW || op == opAccessWT}
+			instr++
+			if filter != nil && filter(acc) {
+				continue
+			}
+			h.Access(acc)
+		case opSetVertex:
+			d, n := varint(data, i)
+			i = n
+			lastV = graph.V(int64(lastV) + d)
+			s.SetVertex(lastV)
+		case opStartIteration:
+			s.StartIteration()
+		case opSetTile:
+			tl, n := uvarint(data, i)
+			i = n
+			s.SetTile(int(tl))
+		case opMute, opUnmute:
+			// The live sink has nothing to do at mute boundaries.
+		case opTick:
+			ticks, n := uvarint(data, i)
+			i = n
+			instr += ticks
+		default:
+			badOp(op, i-1)
+		}
+	}
+	s.Instructions = instr
+}
+
+// uvarint decodes a LEB128 varint at data[i:], returning the value and the
+// index past it.
+//
+//popt:hot
+func uvarint(data []byte, i int) (uint64, int) {
+	var x uint64
+	var shift uint
+	for i < len(data) {
+		b := data[i]
+		i++
+		x |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return x, i
+		}
+		shift += 7
+	}
+	badEOF(i)
+	return 0, i
+}
+
+// varint decodes a zigzag varint.
+//
+//popt:hot
+func varint(data []byte, i int) (int64, int) {
+	ux, n := uvarint(data, i)
+	return int64(ux>>1) ^ -int64(ux&1), n
+}
+
+// badOp panics on a corrupt opcode; a Trace is only ever produced by
+// Encoder, so this is a programming error, not an input error. The panic
+// (and its fmt boxing) lives out of line so Replay's frame stays
+// escape-free.
+//
+//go:noinline
+func badOp(op byte, at int) {
+	panic(fmt.Sprintf("trace: corrupt stream: opcode %d at byte %d", op, at))
+}
+
+//go:noinline
+func badEOF(at int) {
+	panic(fmt.Sprintf("trace: corrupt stream: truncated varint at byte %d", at))
+}

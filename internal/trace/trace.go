@@ -1,0 +1,70 @@
+// Package trace makes the simulator's memory reference stream a
+// first-class, replayable artifact. The paper's evaluation is
+// trace-driven: Pin captures each kernel's reference stream once and every
+// replacement policy replays the same stream. This package provides the
+// equivalent plumbing: kernels emit a typed event stream (memory accesses,
+// outer-loop progress for the update_index instruction, iteration and tile
+// boundaries, mute markers for rounds excluded from sampling) into a Sink;
+// the live cache simulation is one sink (Sim), a compact varint/delta
+// encoder is another (Encoder), and an encoded Trace replays into any sink
+// so a stream captured once can drive an entire policy zoo.
+package trace
+
+import (
+	"popt/internal/graph"
+	"popt/internal/mem"
+)
+
+// Sink consumes one kernel event stream. Implementations must treat each
+// method call as one event in program order; the stream for a given
+// (workload, schedule) is identical no matter which sink consumes it, which
+// is what makes record/replay equivalent to live execution.
+//
+// Events:
+//
+//   - Access: one memory reference (the paper's ld/st stream).
+//   - SetVertex: outer-loop progress, the update_index instruction P-OPT
+//     and T-OPT consume.
+//   - StartIteration: a fresh pass over the vertices begins (P-OPT's
+//     streaming engine re-fetches the first Rereference Matrix column).
+//   - SetTile: a CSR-segmented kernel moved to another tile.
+//   - Mute/Unmute: the kernel entered/left a round excluded from detailed
+//     simulation (direction-switching sparse rounds); no Access, SetVertex,
+//     StartIteration, or Tick events arrive while muted.
+//   - Tick: n non-memory instructions retired (the MPKI denominator,
+//     together with one instruction per Access).
+type Sink interface {
+	Access(acc mem.Access)
+	SetVertex(v graph.V)
+	StartIteration()
+	SetTile(t int)
+	Mute()
+	Unmute()
+	Tick(n uint64)
+}
+
+// Nop is a Sink that ignores every event. Embed it to implement only the
+// events a sink cares about (the capture sinks in package analysis keep
+// just the accesses).
+type Nop struct{}
+
+// Access implements Sink.
+func (Nop) Access(mem.Access) {}
+
+// SetVertex implements Sink.
+func (Nop) SetVertex(graph.V) {}
+
+// StartIteration implements Sink.
+func (Nop) StartIteration() {}
+
+// SetTile implements Sink.
+func (Nop) SetTile(int) {}
+
+// Mute implements Sink.
+func (Nop) Mute() {}
+
+// Unmute implements Sink.
+func (Nop) Unmute() {}
+
+// Tick implements Sink.
+func (Nop) Tick(uint64) {}

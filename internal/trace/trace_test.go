@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"popt/internal/cache"
+	"popt/internal/graph"
+	"popt/internal/mem"
+)
+
+// ev is one recorded event for equivalence checking.
+type ev struct {
+	op   string
+	acc  mem.Access
+	v    graph.V
+	tile int
+	n    uint64
+}
+
+// recordSink captures the full event stream as a slice.
+type recordSink struct{ evs []ev }
+
+func (r *recordSink) Access(acc mem.Access) { r.evs = append(r.evs, ev{op: "access", acc: acc}) }
+func (r *recordSink) SetVertex(v graph.V)   { r.evs = append(r.evs, ev{op: "vertex", v: v}) }
+func (r *recordSink) StartIteration()       { r.evs = append(r.evs, ev{op: "iter"}) }
+func (r *recordSink) SetTile(t int)         { r.evs = append(r.evs, ev{op: "tile", tile: t}) }
+func (r *recordSink) Mute()                 { r.evs = append(r.evs, ev{op: "mute"}) }
+func (r *recordSink) Unmute()               { r.evs = append(r.evs, ev{op: "unmute"}) }
+func (r *recordSink) Tick(n uint64)         { r.evs = append(r.evs, ev{op: "tick", n: n}) }
+
+// coalesceTicks merges adjacent tick events and drops zero-instruction
+// ticks, mirroring the encoder's only lossy-in-shape (but
+// total-preserving) transforms.
+func coalesceTicks(evs []ev) []ev {
+	var out []ev
+	for _, e := range evs {
+		if e.op == "tick" {
+			if len(out) > 0 && out[len(out)-1].op == "tick" {
+				out[len(out)-1].n += e.n
+				continue
+			}
+			if e.n == 0 {
+				continue
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// emit delivers e to s.
+func emit(s Sink, e ev) {
+	switch e.op {
+	case "access":
+		s.Access(e.acc)
+	case "vertex":
+		s.SetVertex(e.v)
+	case "iter":
+		s.StartIteration()
+	case "tile":
+		s.SetTile(e.tile)
+	case "mute":
+		s.Mute()
+	case "unmute":
+		s.Unmute()
+	case "tick":
+		s.Tick(e.n)
+	}
+}
+
+// TestEncoderRoundTrip drives pseudo-random event streams through the
+// encoder and checks the replayed stream is the original with adjacent
+// ticks coalesced. Addresses span the full uint64 range (delta encoding
+// must survive wraparound) and PCs exceed the slot count (collisions must
+// only cost size, never correctness).
+func TestEncoderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		var evs []ev
+		n := 1 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(10) {
+			case 0:
+				evs = append(evs, ev{op: "vertex", v: graph.V(rng.Uint32())})
+			case 1:
+				evs = append(evs, ev{op: "iter"})
+			case 2:
+				evs = append(evs, ev{op: "tile", tile: rng.Intn(64)})
+			case 3:
+				evs = append(evs, ev{op: "mute"}, ev{op: "unmute"})
+			case 4, 5:
+				evs = append(evs, ev{op: "tick", n: uint64(rng.Intn(1000))})
+			default:
+				evs = append(evs, ev{op: "access", acc: mem.Access{
+					Addr:  rng.Uint64(),
+					PC:    uint16(rng.Intn(1 << 16)),
+					Write: rng.Intn(2) == 0,
+				}})
+			}
+		}
+		enc := NewEncoder()
+		for _, e := range evs {
+			emit(enc, e)
+		}
+		tr := enc.Trace()
+		got := &recordSink{}
+		tr.Replay(got)
+		want := coalesceTicks(evs)
+		if !reflect.DeepEqual(got.evs, want) {
+			t.Fatalf("trial %d: round trip diverged (%d events in, %d out)", trial, len(want), len(got.evs))
+		}
+	}
+}
+
+// TestEncoderDeltaLocality pins the compression property the format exists
+// for: a strided same-PC walk must encode in ~2 bytes/event.
+func TestEncoderDeltaLocality(t *testing.T) {
+	enc := NewEncoder()
+	for i := 0; i < 10000; i++ {
+		enc.Access(mem.Access{Addr: 1 << 30 * uint64(1) + uint64(i)*4, PC: 3})
+	}
+	tr := enc.Trace()
+	if bpe := tr.BytesPerEvent(); bpe > 3.5 {
+		t.Errorf("sequential walk encodes at %.2f bytes/event, want <= 3.5", bpe)
+	}
+	if tr.Stats().Accesses != 10000 {
+		t.Errorf("accesses = %d", tr.Stats().Accesses)
+	}
+}
+
+// TestTraceReplayIsRepeatable checks a Trace carries no mutable decode
+// state: two replays must deliver identical streams.
+func TestTraceReplayIsRepeatable(t *testing.T) {
+	enc := NewEncoder()
+	enc.SetVertex(41)
+	enc.Access(mem.Access{Addr: 123456, PC: 9})
+	enc.Tick(7)
+	enc.Access(mem.Access{Addr: 123520, PC: 9, Write: true})
+	tr := enc.Trace()
+	a, b := &recordSink{}, &recordSink{}
+	tr.Replay(a)
+	tr.Replay(b)
+	if !reflect.DeepEqual(a.evs, b.evs) {
+		t.Fatal("two replays of one trace diverged")
+	}
+	if len(a.evs) != 4 {
+		t.Fatalf("replay delivered %d events, want 4", len(a.evs))
+	}
+}
+
+// TestStatsEvents checks the event total matches a hand count.
+func TestStatsEvents(t *testing.T) {
+	enc := NewEncoder()
+	enc.Access(mem.Access{Addr: 1, PC: 1})
+	enc.SetVertex(1)
+	enc.StartIteration()
+	enc.SetTile(2)
+	enc.Mute()
+	enc.Unmute()
+	enc.Tick(5)
+	tr := enc.Trace()
+	if got := tr.Stats().Events(); got != 7 {
+		t.Errorf("Events() = %d, want 7", got)
+	}
+	if tr.Stats().TickedInstrs != 5 {
+		t.Errorf("TickedInstrs = %d, want 5", tr.Stats().TickedInstrs)
+	}
+}
+
+// TestSimMPKI relocates the old Hierarchy MPKI unit test: the sink owns
+// the instruction counter now.
+func TestSimMPKI(t *testing.T) {
+	h := cache.NewHierarchy(cache.Scaled(func() cache.Policy { return cache.NewLRU() }))
+	s := NewSim(h, nil)
+	s.Tick(1000)
+	for i := 0; i < 10; i++ {
+		h.Access(mem.Access{Addr: uint64(i) * 4096 * mem.LineSize})
+	}
+	if got := s.MPKI(); got != 10 {
+		t.Errorf("MPKI = %v, want 10", got)
+	}
+	if empty := (&Sim{}); empty.MPKI() != 0 {
+		t.Error("hierarchy-less Sim must report 0 MPKI")
+	}
+}
+
+// TestSimChargesAbsorbedAccesses pins the filter contract: an absorbed
+// access retires its instruction without reaching the hierarchy.
+func TestSimChargesAbsorbedAccesses(t *testing.T) {
+	h := cache.NewHierarchy(cache.Scaled(func() cache.Policy { return cache.NewLRU() }))
+	s := NewSim(h, nil)
+	s.Filter = func(acc mem.Access) bool { return acc.Write }
+	s.Access(mem.Access{Addr: 64, Write: true})
+	s.Access(mem.Access{Addr: 64})
+	if s.Instructions != 2 {
+		t.Errorf("Instructions = %d, want 2", s.Instructions)
+	}
+	if h.L1.Stats.Accesses != 1 {
+		t.Errorf("L1 accesses = %d, want 1", h.L1.Stats.Accesses)
+	}
+}
+
+// TestTeeDeliversInOrder checks fan-out order and completeness.
+func TestTeeDeliversInOrder(t *testing.T) {
+	a, b := &recordSink{}, &recordSink{}
+	tee := NewTee(a, b)
+	tee.Access(mem.Access{Addr: 10, PC: 2})
+	tee.SetVertex(3)
+	tee.Tick(4)
+	if !reflect.DeepEqual(a.evs, b.evs) || len(a.evs) != 3 {
+		t.Fatalf("tee fan-out diverged: %v vs %v", a.evs, b.evs)
+	}
+}
