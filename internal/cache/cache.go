@@ -12,6 +12,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"popt/internal/mem"
 )
@@ -77,16 +78,52 @@ func (s *Stats) Add(other Stats) {
 	s.Writebacks += other.Writebacks
 }
 
+// tagSentinel marks an invalid or reserved way in the SoA tag index. Every
+// probe key is a line-aligned address (low LineShift bits zero), so the
+// all-ones pattern can never equal a real tag and Lookup's scan needs no
+// separate validity branch.
+const tagSentinel = ^uint64(0)
+
 // Level is one set-associative cache level.
+//
+// Storage is kept in two synchronized forms. The canonical form is lines,
+// an array-of-structs that policies borrow in Victim (the borrow contract
+// enforced by policycontract/borrowflow/NewCheckedPolicy is expressed over
+// []Line and is untouched by the datapath layout). The probe path never
+// reads it: a structure-of-arrays index — tags, holding each way's
+// line-aligned address or tagSentinel, plus per-set valid/dirty bitmasks —
+// serves Lookup with a single-compare scan over a contiguous uint64 slice,
+// Fill's free-way pick with one TrailingZeros64, and Occupancy/Reserve
+// scans with popcounts. Every mutation (Fill, Invalidate, Reserve, Flush,
+// dirty-bit updates) writes both forms.
 type Level struct {
 	Name  string
 	sets  int
 	ways  int
 	resvd int
-	lines []Line // sets*ways, row-major by set
-	pol   Policy
+	lines []Line   // canonical AoS storage, sets*ways, row-major by set
+	tags  []uint64 // SoA index: Addr of valid demand ways, else tagSentinel
+	valid []uint64 // per-set way bitmask: bit w set iff way w holds a line
+	dirty []uint64 // per-set way bitmask: bit w set iff way w is dirty
+	// demand masks ways [resvd, ways): the ways Fill may allocate into.
+	demand uint64
+	// setMask is sets-1 when the set count is a power of two (the L1/L2
+	// geometries); the all-ones sentinel selects the fastmod path instead,
+	// covering general counts like the paper LLC's 24576 sets.
+	setMask uint64
+	// setDiv strength-reduces SetIndex's modulo by a non-power-of-two set
+	// count to a precomputed Lemire reciprocal.
+	setDiv mem.Divider
+	pol    Policy
+	// plru is non-nil when pol is the fixed L1/L2 Bit-PLRU, devirtualizing
+	// (and inlining) its callbacks on the access path. Wrapped policies
+	// (NewCheckedPolicy) fall back to the interface calls.
+	plru  *BitPLRU
 	Stats Stats
 }
+
+// lowWays returns the bitmask of ways [0, n).
+func lowWays(n int) uint64 { return ^uint64(0) >> (64 - uint(n)) }
 
 // NewLevel builds a level of the given total size with the given
 // associativity and policy. The set count need not be a power of two
@@ -97,7 +134,31 @@ func NewLevel(name string, sizeBytes, ways int, pol Policy) *Level {
 	if sets <= 0 {
 		panic(fmt.Sprintf("cache %s: nonpositive set count (size=%d ways=%d)", name, sizeBytes, ways))
 	}
-	l := &Level{Name: name, sets: sets, ways: ways, lines: make([]Line, sets*ways), pol: pol}
+	if ways > 64 {
+		panic(fmt.Sprintf("cache %s: associativity %d exceeds the 64-way bitmask datapath", name, ways))
+	}
+	l := &Level{
+		Name:    name,
+		sets:    sets,
+		ways:    ways,
+		lines:   make([]Line, sets*ways),
+		tags:    make([]uint64, sets*ways),
+		valid:   make([]uint64, sets),
+		dirty:   make([]uint64, sets),
+		demand:  lowWays(ways),
+		setMask: ^uint64(0),
+		setDiv:  mem.NewDivider(uint64(sets)),
+		pol:     pol,
+	}
+	if sets&(sets-1) == 0 {
+		l.setMask = uint64(sets - 1)
+	}
+	if bp, ok := pol.(*BitPLRU); ok {
+		l.plru = bp
+	}
+	for i := range l.tags {
+		l.tags[i] = tagSentinel
+	}
 	pol.Bind(Geometry{Sets: sets, Ways: ways})
 	return l
 }
@@ -123,18 +184,22 @@ func (l *Level) Reserve(n int) (dirty []Line) {
 		panic(fmt.Sprintf("cache %s: cannot reserve %d of %d ways", l.Name, n, l.ways))
 	}
 	l.resvd = n
+	l.demand = lowWays(l.ways) &^ lowWays(n)
+	resMask := lowWays(n)
 	for s := 0; s < l.sets; s++ {
-		for w := 0; w < n; w++ {
-			ln := &l.lines[s*l.ways+w]
-			if ln.Valid {
-				l.Stats.Evictions++
-				if ln.Dirty {
-					dirty = append(dirty, *ln)
-					l.Stats.Writebacks++
-				}
-			}
-			*ln = Line{}
+		occupied := l.valid[s] & resMask
+		l.Stats.Evictions += uint64(bits.OnesCount64(occupied))
+		for m := l.dirty[s] & occupied; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			dirty = append(dirty, l.lines[s*l.ways+w])
+			l.Stats.Writebacks++
 		}
+		for w := 0; w < n; w++ {
+			l.lines[s*l.ways+w] = Line{}
+			l.tags[s*l.ways+w] = tagSentinel
+		}
+		l.valid[s] &^= resMask
+		l.dirty[s] &^= resMask
 	}
 	l.pol.Bind(Geometry{Sets: l.sets, Ways: l.ways, ReservedWays: n})
 	return dirty
@@ -143,27 +208,46 @@ func (l *Level) Reserve(n int) (dirty []Line) {
 // Policy returns the bound replacement policy.
 func (l *Level) Policy() Policy { return l.pol }
 
-// SetIndex maps a line address to its set.
+// SetIndex maps a line address to its set: a mask when the set count is a
+// power of two, the fastmod reciprocal otherwise. The branch is perfectly
+// predicted per level.
+//
+//popt:hot
 func (l *Level) SetIndex(lineAddr uint64) int {
-	return int((lineAddr >> mem.LineShift) % uint64(l.sets))
+	if l.setMask != ^uint64(0) {
+		return int((lineAddr >> mem.LineShift) & l.setMask)
+	}
+	return int(l.setDiv.Mod(lineAddr >> mem.LineShift))
 }
 
 // set returns the slice of ways for set s.
 func (l *Level) set(s int) []Line { return l.lines[s*l.ways : (s+1)*l.ways] }
 
-// Lookup probes for the line of acc without updating statistics or
-// replacement state; it reports presence (used by writeback handling).
+// probe scans set's tag row for lineAddr, returning the way or -1. The
+// scan covers the whole row: reserved and invalid ways hold tagSentinel,
+// which no line-aligned address can equal, so each way costs exactly one
+// compare. Kept as a leaf under the inlining budget so Access, Fill,
+// MarkDirty and Invalidate absorb it (and SetIndex) without a call.
+func (l *Level) probe(set int, lineAddr uint64) int {
+	base := set * l.ways
+	tags := l.tags[base : base+l.ways]
+	for w := range tags {
+		if tags[w] == lineAddr {
+			return w
+		}
+	}
+	return -1
+}
+
+// Lookup probes for the line with the given line-aligned address without
+// updating statistics or replacement state; it reports presence (used by
+// writeback handling).
 //
 //popt:hot
 func (l *Level) Lookup(lineAddr uint64) (set, way int, ok bool) {
 	set = l.SetIndex(lineAddr)
-	ws := l.set(set)
-	for w := l.resvd; w < l.ways; w++ {
-		if ws[w].Valid && ws[w].Addr == lineAddr {
-			return set, w, true
-		}
-	}
-	return set, -1, false
+	way = l.probe(set, lineAddr)
+	return set, way, way >= 0
 }
 
 // Access performs a demand access. It returns true on hit. On miss the
@@ -173,13 +257,18 @@ func (l *Level) Lookup(lineAddr uint64) (set, way int, ok bool) {
 func (l *Level) Access(acc mem.Access) bool {
 	l.Stats.Accesses++
 	la := acc.LineAddr()
-	set, way, ok := l.Lookup(la)
-	if ok {
+	set := l.SetIndex(la)
+	if way := l.probe(set, la); way >= 0 {
 		l.Stats.Hits++
 		if acc.Write {
-			l.set(set)[way].Dirty = true
+			l.lines[set*l.ways+way].Dirty = true
+			l.dirty[set] |= 1 << uint(way)
 		}
-		l.pol.OnHit(set, way, acc)
+		if l.plru != nil {
+			l.plru.OnHit(set, way, acc)
+		} else {
+			l.pol.OnHit(set, way, acc)
+		}
 		return true
 	}
 	l.Stats.Misses++
@@ -187,22 +276,25 @@ func (l *Level) Access(acc mem.Access) bool {
 }
 
 // Fill installs the line of acc, returning the evicted line if a valid one
-// was displaced.
+// was displaced. A free way, when one exists, is found with a single
+// TrailingZeros64 over the set's inverted valid mask (lowest free demand
+// way first, matching the AoS scan this replaced).
 //
 //popt:hot
 func (l *Level) Fill(acc mem.Access) (evicted Line, wasEvicted bool) {
 	la := acc.LineAddr()
 	set := l.SetIndex(la)
-	ws := l.set(set)
-	way := -1
-	for w := l.resvd; w < l.ways; w++ {
-		if !ws[w].Valid {
-			way = w
-			break
+	base := set * l.ways
+	var way int
+	if free := ^l.valid[set] & l.demand; free != 0 {
+		way = bits.TrailingZeros64(free)
+	} else {
+		ws := l.lines[base : base+l.ways]
+		if l.plru != nil {
+			way = l.plru.Victim(set, ws, acc)
+		} else {
+			way = l.pol.Victim(set, ws, acc)
 		}
-	}
-	if way < 0 {
-		way = l.pol.Victim(set, ws, acc)
 		if way < l.resvd || way >= l.ways {
 			l.badVictim(way)
 		}
@@ -210,8 +302,20 @@ func (l *Level) Fill(acc mem.Access) (evicted Line, wasEvicted bool) {
 		l.Stats.Evictions++
 		l.pol.OnEvict(set, way)
 	}
-	ws[way] = Line{Valid: true, Dirty: acc.Write, Addr: la, PC: acc.PC}
-	l.pol.OnFill(set, way, acc)
+	l.lines[base+way] = Line{Valid: true, Dirty: acc.Write, Addr: la, PC: acc.PC}
+	l.tags[base+way] = la
+	bit := uint64(1) << uint(way)
+	l.valid[set] |= bit
+	if acc.Write {
+		l.dirty[set] |= bit
+	} else {
+		l.dirty[set] &^= bit
+	}
+	if l.plru != nil {
+		l.plru.OnFill(set, way, acc)
+	} else {
+		l.pol.OnFill(set, way, acc)
+	}
 	return evicted, wasEvicted
 }
 
@@ -228,41 +332,61 @@ func (l *Level) badVictim(way int) {
 
 // MarkDirty sets the dirty bit if the line is present, reporting presence.
 // Used to sink writebacks from an upper level.
+//
+//popt:hot
 func (l *Level) MarkDirty(lineAddr uint64) bool {
-	set, way, ok := l.Lookup(lineAddr)
-	if ok {
-		l.set(set)[way].Dirty = true
-		l.Stats.Writebacks++
+	set := l.SetIndex(lineAddr)
+	way := l.probe(set, lineAddr)
+	if way < 0 {
+		return false
 	}
-	return ok
+	l.lines[set*l.ways+way].Dirty = true
+	l.dirty[set] |= 1 << uint(way)
+	l.Stats.Writebacks++
+	return true
 }
 
 // Invalidate drops the line if present, returning whether it was dirty.
 func (l *Level) Invalidate(lineAddr uint64) (dirty, present bool) {
-	set, way, ok := l.Lookup(lineAddr)
-	if !ok {
+	set := l.SetIndex(lineAddr)
+	way := l.probe(set, lineAddr)
+	if way < 0 {
 		return false, false
 	}
-	ws := l.set(set)
-	dirty = ws[way].Dirty
-	ws[way] = Line{}
+	dirty = l.dirty[set]&(1<<uint(way)) != 0
+	l.lines[set*l.ways+way] = Line{}
+	l.tags[set*l.ways+way] = tagSentinel
+	l.valid[set] &^= 1 << uint(way)
+	l.dirty[set] &^= 1 << uint(way)
 	return dirty, true
 }
 
-// Occupancy returns the number of valid demand lines (diagnostics/tests).
+// Occupancy returns the number of valid demand lines (diagnostics/tests):
+// a popcount over the per-set valid masks rather than a walk of the line
+// array.
 func (l *Level) Occupancy() int {
 	n := 0
-	for i := range l.lines {
-		if l.lines[i].Valid {
-			n++
-		}
+	for _, v := range l.valid {
+		n += bits.OnesCount64(v)
 	}
 	return n
 }
 
-// Flush invalidates every line and resets nothing else (stats retained).
+// Flush invalidates every line (stats retained) and re-binds the policy so
+// replacement metadata for the dropped lines — LRU stacks, RRPVs, SHiP
+// outcome bits — does not survive into the empty cache. Without the
+// re-bind a post-flush fill could inherit the flushed working set's
+// recency state.
 func (l *Level) Flush() {
 	for i := range l.lines {
 		l.lines[i] = Line{}
 	}
+	for i := range l.tags {
+		l.tags[i] = tagSentinel
+	}
+	for s := range l.valid {
+		l.valid[s] = 0
+		l.dirty[s] = 0
+	}
+	l.pol.Bind(Geometry{Sets: l.sets, Ways: l.ways, ReservedWays: l.resvd})
 }

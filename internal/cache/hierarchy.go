@@ -77,7 +77,11 @@ func (h HitLevel) String() string {
 // Hierarchy is a three-level cache plus DRAM traffic counters. Writebacks
 // propagate downward without allocating (non-inclusive, writeback,
 // no-write-allocate-on-writeback), which keeps eviction handling simple
-// while preserving DRAM write traffic accounting.
+// while preserving DRAM write traffic accounting. Every probe below —
+// demand lookups, fills, and the MarkDirty writeback sinks — runs on the
+// Level's SoA datapath: sentinel-tag scans, bitmask free-way selection,
+// and fastmod set mapping (see Level), so the hierarchy itself adds no
+// per-access division or per-way branching.
 type Hierarchy struct {
 	L1, L2, LLC *Level
 	// DRAMReads counts demand fills from memory, DRAMWrites counts dirty

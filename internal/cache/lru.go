@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"math/bits"
 	"math/rand"
 
 	"popt/internal/mem"
@@ -86,9 +87,17 @@ func (p *Random) Victim(int, []Line, mem.Access) int {
 // MRU bit per way; a touch sets the way's bit, and when the last zero bit
 // would disappear all other bits reset. The victim is the first way with a
 // zero bit.
+//
+// The MRU bits live in one uint64 per set, so a touch is a mask-or plus a
+// saturation compare and Victim is a single TrailingZeros64 — the same
+// bitmask datapath the Level uses for its valid/dirty state. Since L1 and
+// L2 run this policy on every access, the O(ways) bit walk this replaces
+// was on the hierarchy's hottest path.
 type BitPLRU struct {
-	g    Geometry
-	bits []bool
+	g   Geometry
+	mru []uint64 // per set; bit w set = way w touched since the last reset
+	// demand masks ways [ReservedWays, Ways), the ways the MRU walk covers.
+	demand uint64
 }
 
 // NewBitPLRU returns a Bit-PLRU policy.
@@ -99,43 +108,46 @@ func (p *BitPLRU) Name() string { return "Bit-PLRU" }
 
 // Bind implements Policy.
 func (p *BitPLRU) Bind(g Geometry) {
+	if g.Ways > 64 {
+		panic("cache: Bit-PLRU bitmask datapath supports at most 64 ways")
+	}
 	p.g = g
-	p.bits = make([]bool, g.Sets*g.Ways)
+	p.mru = make([]uint64, g.Sets)
+	p.demand = lowWays(g.Ways) &^ lowWays(g.ReservedWays)
 }
 
+//popt:hot
 func (p *BitPLRU) touch(set, way int) {
-	base := set * p.g.Ways
-	p.bits[base+way] = true
-	for w := p.g.ReservedWays; w < p.g.Ways; w++ {
-		if !p.bits[base+w] {
-			return // some zero bit remains
-		}
+	m := p.mru[set] | 1<<uint(way)
+	if m&p.demand == p.demand {
+		// The last zero bit disappeared: reset every demand way but this
+		// one (reserved-way bits, never consulted, are left as-is).
+		m = (m &^ p.demand) | 1<<uint(way)
 	}
-	for w := p.g.ReservedWays; w < p.g.Ways; w++ {
-		if w != way {
-			p.bits[base+w] = false
-		}
-	}
+	p.mru[set] = m
 }
 
 // OnHit implements Policy.
+//
+//popt:hot
 func (p *BitPLRU) OnHit(set, way int, _ mem.Access) { p.touch(set, way) }
 
 // OnFill implements Policy.
+//
+//popt:hot
 func (p *BitPLRU) OnFill(set, way int, _ mem.Access) { p.touch(set, way) }
 
 // OnEvict implements Policy.
 func (p *BitPLRU) OnEvict(int, int) {}
 
-// Victim implements Policy.
+// Victim implements Policy: the lowest demand way whose MRU bit is clear
+// (the touch saturation rule guarantees one exists; the fallback covers a
+// never-touched set only).
 //
 //popt:hot
 func (p *BitPLRU) Victim(set int, _ []Line, _ mem.Access) int {
-	base := set * p.g.Ways
-	for w := p.g.ReservedWays; w < p.g.Ways; w++ {
-		if !p.bits[base+w] {
-			return w
-		}
+	if free := ^p.mru[set] & p.demand; free != 0 {
+		return bits.TrailingZeros64(free)
 	}
 	return p.g.ReservedWays
 }

@@ -40,21 +40,34 @@ type NUCA struct {
 	// IrregBase/IrregBound delimit the irregData huge page that uses
 	// StripeBlocks; all other addresses use StripeLines.
 	IrregBase, IrregBound uint64
+	// div caches the fastmod reciprocal of Banks (bank counts, like set
+	// counts, need not be powers of two). It is rebuilt lazily whenever
+	// Banks changes, which keeps the zero-value/struct-literal NUCA usable.
+	div mem.Divider
+}
+
+// banksDiv returns the cached reciprocal for the current bank count.
+func (n *NUCA) banksDiv() mem.Divider {
+	if n.div.Divisor() != uint64(n.Banks) {
+		n.div = mem.NewDivider(uint64(n.Banks))
+	}
+	return n.div
 }
 
 // BankOf returns the bank holding the line of addr.
 func (n *NUCA) BankOf(addr uint64) int {
+	d := n.banksDiv()
 	if addr >= n.IrregBase && addr < n.IrregBound {
-		return StripeBlocks.Bank(addr-n.IrregBase, n.Banks)
+		return int(d.Mod((addr - n.IrregBase) >> (mem.LineShift + 6)))
 	}
-	return StripeLines.Bank(addr, n.Banks)
+	return int(d.Mod(addr >> mem.LineShift))
 }
 
 // MatrixLineBank returns the bank of the Rereference Matrix line holding
 // entries for irregData lines [64*k, 64*k+64), where the matrix column is a
 // contiguous array starting at matrixBase. Matrix data uses line striping.
 func (n *NUCA) MatrixLineBank(matrixBase uint64, k int) int {
-	return StripeLines.Bank(matrixBase+uint64(k)*mem.LineSize, n.Banks)
+	return int(n.banksDiv().Mod((matrixBase + uint64(k)*mem.LineSize) >> mem.LineShift))
 }
 
 // BankLocal reports whether every irregData line's matrix entry resides in

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"popt/internal/graph"
+	"popt/internal/mem"
 )
 
 // Kind selects the Rereference Matrix entry encoding.
@@ -74,6 +75,23 @@ type Table struct {
 	SubEpochSize int
 	// entries is row-major: entries[line*NumEpochs+epoch].
 	entries []uint16
+	// epochDiv/subDiv are precomputed fastdiv reciprocals for EpochSize
+	// and SubEpochSize: EpochOf and NextRef sit on P-OPT's victim-search
+	// hot path (one lookup per candidate way per replacement) and the
+	// epoch sizes are runtime values, so the hardware division they would
+	// otherwise cost is strength-reduced once at build time. initDividers
+	// must run after the geometry fields are final.
+	epochDiv mem.Divider
+	subDiv   mem.Divider
+}
+
+// initDividers precomputes the reciprocals of the epoch geometry; every
+// constructor of a Table must call it once EpochSize and SubEpochSize are
+// set (BuildTable does; so does the test helper that pins geometry by
+// hand).
+func (t *Table) initDividers() {
+	t.epochDiv = mem.NewDivider(uint64(t.EpochSize))
+	t.subDiv = mem.NewDivider(uint64(t.SubEpochSize))
 }
 
 // Matrix is one run's view of a Rereference Matrix: the shared immutable
@@ -156,6 +174,7 @@ func BuildTable(refAdj *graph.Adj, numVertices, elemsPerLine int, kind Kind, bit
 	t.SubEpochSize = (t.EpochSize + t.SubEpochs - 1) / t.SubEpochs
 	t.NumLines = (refAdj.N() + elemsPerLine - 1) / elemsPerLine
 	t.entries = make([]uint16, t.NumLines*t.NumEpochs)
+	t.initDividers()
 	fillEntries(t, refAdj, numVertices)
 	return t
 }
@@ -229,8 +248,8 @@ func (t *Table) fillLines(refAdj *graph.Adj, numVertices, lo, hi int, hasRef []b
 				if int(d) >= numVertices {
 					continue // outer loop never reaches it
 				}
-				e := int(d) / t.EpochSize
-				sub := (int(d) - e*t.EpochSize) / t.SubEpochSize
+				e := int(t.epochDiv.Div(uint64(d)))
+				sub := int(t.subDiv.Div(uint64(int(d) - e*t.EpochSize)))
 				if sub >= t.SubEpochs {
 					sub = t.SubEpochs - 1
 				}
@@ -301,11 +320,12 @@ func (t *Table) Checksum() uint64 {
 	return h.Sum64()
 }
 
-// EpochOf maps an outer-loop vertex to its epoch.
+// EpochOf maps an outer-loop vertex to its epoch. The division by the
+// runtime epoch size runs on the precomputed fastdiv reciprocal.
 //
 //popt:hot
 func (t *Table) EpochOf(v graph.V) int {
-	e := int(v) / t.EpochSize
+	e := int(t.epochDiv.Div(uint64(v)))
 	if e >= t.NumEpochs {
 		e = t.NumEpochs - 1
 	}
@@ -343,7 +363,7 @@ func (m *Matrix) NextRef(line int, cur graph.V) int {
 		lastSub = int(curr & lowMask)
 	}
 	epochStart := e * m.EpochSize
-	currSub := (int(cur) - epochStart) / m.SubEpochSize
+	currSub := int(m.subDiv.Div(uint64(int(cur) - epochStart)))
 	if currSub <= lastSub {
 		return 0
 	}

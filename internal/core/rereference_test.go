@@ -45,6 +45,7 @@ func rebuildWithEpochSize(ref *graph.Adj, numVertices, epl int, kind Kind, bits 
 	tt.SubEpochSize = (epochSize + tt.SubEpochs - 1) / tt.SubEpochs
 	tt.NumLines = (ref.N() + epl - 1) / epl
 	tt.entries = make([]uint16, tt.NumLines*tt.NumEpochs)
+	tt.initDividers()
 	fillEntries(tt, ref, numVertices)
 	return tt.NewMatrix()
 }

@@ -88,7 +88,7 @@ func (e *LLCEncoder) LLCAccess(acc mem.Access) {
 		e.buf = append(e.buf, op|pcEscape<<4)
 		e.buf = appendUvarint(e.buf, uint64(acc.PC))
 	}
-	slot := acc.PC % pcSlots
+	slot := acc.PC & pcSlotMask
 	e.buf = appendVarint(e.buf, int64(acc.Addr-e.last[slot]))
 	e.last[slot] = acc.Addr
 }
@@ -195,7 +195,7 @@ func (t *LLCTrace) Replay(sim *Sim) {
 			} else {
 				d, i = varint(data, i)
 			}
-			slot := uint16(pc) % pcSlots
+			slot := uint16(pc) & pcSlotMask
 			addr := last[slot] + uint64(d)
 			last[slot] = addr
 			acc := mem.Access{Addr: addr, PC: uint16(pc), Write: op == lopAccessW}

@@ -83,8 +83,20 @@ type Encoder struct {
 
 // pcSlots is the size of the per-PC delta context. PCs above the slot
 // count share slot pc%pcSlots — encoder and decoder apply the same rule,
-// so collisions only cost larger deltas, never correctness.
+// so collisions only cost larger deltas, never correctness. pcSlots is a
+// power of two so the slot map is a single AND with pcSlotMask (a
+// constant power-of-two modulo needs no fastmod reciprocal); the encode
+// and decode hot loops below and in llc.go all take this path, while the
+// non-constant set-count modulo the replayed accesses hit inside the LLC
+// runs on the Level's fastmod datapath.
 const pcSlots = 256
+
+// pcSlotMask masks a PC into its delta slot.
+const pcSlotMask = pcSlots - 1
+
+// Compile-time guard that pcSlots stays a power of two: the array length
+// goes negative (a compile error) otherwise.
+var _ = [1 - pcSlots&(pcSlots-1)]struct{}{}
 
 // NewEncoder returns an empty encoder. The buffer starts at 64 KiB —
 // around two bytes per event, even short kernel runs emit tens of
@@ -147,7 +159,7 @@ func (e *Encoder) Access(acc mem.Access) {
 	if pending != 0 {
 		e.buf = appendUvarint(e.buf, pending)
 	}
-	slot := acc.PC % pcSlots
+	slot := acc.PC & pcSlotMask
 	e.buf = appendVarint(e.buf, int64(acc.Addr - e.last[slot]))
 	e.last[slot] = acc.Addr
 }
@@ -277,7 +289,7 @@ func (t *Trace) Replay(s Sink) {
 			} else {
 				d, i = varint(data, i)
 			}
-			slot := uint16(pc) % pcSlots
+			slot := uint16(pc) & pcSlotMask
 			addr := last[slot] + uint64(d)
 			last[slot] = addr
 			s.Access(mem.Access{Addr: addr, PC: uint16(pc), Write: op == opAccessW || op == opAccessWT})
@@ -347,7 +359,7 @@ func (t *Trace) replaySim(s *Sim) {
 			} else {
 				d, i = varint(data, i)
 			}
-			slot := uint16(pc) % pcSlots
+			slot := uint16(pc) & pcSlotMask
 			addr := last[slot] + uint64(d)
 			last[slot] = addr
 			acc := mem.Access{Addr: addr, PC: uint16(pc), Write: op == opAccessW || op == opAccessWT}
