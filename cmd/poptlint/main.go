@@ -1,9 +1,10 @@
 // Command poptlint runs the repository's custom static-analysis suite
 // (internal/lint) over the given packages: simulator determinism, the
 // cache.Policy contract (syntactic policycontract plus the borrowflow
-// dataflow analyzer), and cache.Stats write discipline. It exits nonzero
-// when any finding survives the //lint directives, so it can gate CI the
-// same way go vet does.
+// dataflow analyzer), cache.Stats write discipline, and the
+// publish-safety family for shared sweep artifacts (sharefreeze,
+// lockguard, loopcapture). It exits nonzero when any finding survives
+// the //lint directives, so it can gate CI the same way go vet does.
 //
 // With -hotpath it instead runs the hot-path performance gate
 // (internal/lint/hotpath): every //popt:hot function is compiled with
@@ -17,6 +18,7 @@
 //	go run ./cmd/poptlint ./...
 //	go run ./cmd/poptlint -list
 //	go run ./cmd/poptlint -run determinism ./internal/cache/...
+//	go run ./cmd/poptlint -sharefreeze ./...
 //	go run ./cmd/poptlint -hotpath
 //	go run ./cmd/poptlint -hotpath -update
 //
@@ -50,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	runSel := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	freezeOnly := fs.Bool("sharefreeze", false, "run only the publish-safety family: sharefreeze, lockguard, loopcapture")
 	dir := fs.String("C", "", "run as if started in this directory (module root)")
 	hot := fs.Bool("hotpath", false, "run the hot-path performance gate instead of the analyzers")
 	update := fs.Bool("update", false, "with -hotpath, regenerate the baseline instead of diffing")
@@ -63,6 +66,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		lint.PolicyContract,
 		lint.BorrowFlow,
 		lint.StatsDiscipline,
+		lint.NewShareFreeze(),
+		lint.LockGuard,
+		lint.NewLoopCapture(),
 	}
 	if *list {
 		for _, a := range all {
@@ -79,7 +85,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *freezeOnly && *runSel != "" {
+		fmt.Fprintln(stderr, "poptlint: -sharefreeze and -run are mutually exclusive")
+		return 2
+	}
 	analyzers := all
+	if *freezeOnly {
+		analyzers = nil
+		for _, a := range all {
+			switch a.Name {
+			case "sharefreeze", "lockguard", "loopcapture":
+				analyzers = append(analyzers, a)
+			}
+		}
+	}
 	if *runSel != "" {
 		analyzers = nil
 		for _, name := range strings.Split(*runSel, ",") {

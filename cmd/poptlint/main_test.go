@@ -72,7 +72,7 @@ func TestListExitsClean(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list: exit %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "policycontract", "borrowflow", "statsdiscipline"} {
+	for _, name := range []string{"determinism", "policycontract", "borrowflow", "statsdiscipline", "sharefreeze", "lockguard", "loopcapture"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
 		}
@@ -133,6 +133,66 @@ func TestRunSelectionSkipsAnalyzer(t *testing.T) {
 	code, out, errOut := runCmd(t, "-C", filepath.Join("testdata", "lintmod"), "-run", "determinism", "./...")
 	if code != 0 {
 		t.Fatalf("-run determinism: exit %d, want 0 (stdout %q, stderr %q)", code, out, errOut)
+	}
+}
+
+func TestShareFreezeFamilyFindings(t *testing.T) {
+	// freezemod seeds one violation per publish-safety analyzer; the
+	// family flag must surface all three and exit 1.
+	code, out, errOut := runCmd(t, "-C", filepath.Join("testdata", "freezemod"), "-sharefreeze", "./...")
+	if code != 1 {
+		t.Fatalf("-sharefreeze on freezemod: exit %d, want 1 (stdout %q, stderr %q)", code, out, errOut)
+	}
+	for _, want := range []string{
+		"mutating frozen Table after publication",
+		"[sharefreeze]",
+		"accesses c.n without holding mu",
+		"[lockguard]",
+		"captures loop variable i",
+		"[loopcapture]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(errOut, "finding(s)") {
+		t.Errorf("stderr missing findings summary: %s", errOut)
+	}
+}
+
+func TestShareFreezeExcludesOtherAnalyzers(t *testing.T) {
+	// The family flag must not drag the rest of the suite along: lintmod's
+	// borrowflow violation is invisible to -sharefreeze.
+	code, out, errOut := runCmd(t, "-C", filepath.Join("testdata", "lintmod"), "-sharefreeze", "./...")
+	if code != 0 {
+		t.Fatalf("-sharefreeze on lintmod: exit %d, want 0 (stdout %q, stderr %q)", code, out, errOut)
+	}
+}
+
+func TestShareFreezeAndRunAreMutuallyExclusive(t *testing.T) {
+	code, _, errOut := runCmd(t, "-sharefreeze", "-run", "lockguard", "./...")
+	if code != 2 {
+		t.Fatalf("-sharefreeze -run: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "mutually exclusive") {
+		t.Errorf("stderr missing mutual-exclusion message: %s", errOut)
+	}
+}
+
+func TestRunSingleFreezeAnalyzer(t *testing.T) {
+	// -run sharefreeze alone reports the freeze violation but not the
+	// guard or capture ones.
+	code, out, errOut := runCmd(t, "-C", filepath.Join("testdata", "freezemod"), "-run", "sharefreeze", "./...")
+	if code != 1 {
+		t.Fatalf("-run sharefreeze: exit %d, want 1 (stdout %q, stderr %q)", code, out, errOut)
+	}
+	if !strings.Contains(out, "[sharefreeze]") {
+		t.Errorf("stdout missing sharefreeze finding:\n%s", out)
+	}
+	for _, reject := range []string{"[lockguard]", "[loopcapture]"} {
+		if strings.Contains(out, reject) {
+			t.Errorf("stdout has %s finding under -run sharefreeze:\n%s", reject, out)
+		}
 	}
 }
 

@@ -1,0 +1,3 @@
+module popt
+
+go 1.22

@@ -31,9 +31,9 @@ import (
 
 type artifacts struct {
 	mu      sync.Mutex
-	tables  map[tableKey]*tableEntry
-	lrs     map[lrKey]*lrEntry
-	streams map[streamKey]*streamEntry
+	tables  map[tableKey]*tableEntry   //popt:guardedby mu
+	lrs     map[lrKey]*lrEntry         //popt:guardedby mu
+	streams map[streamKey]*streamEntry //popt:guardedby mu
 }
 
 // tableKey identifies one immutable Rereference Matrix table. The
@@ -55,14 +55,17 @@ type lrKey struct {
 // Entries carry a per-key once so a thundering herd of cells needing the
 // same table at sweep start builds it exactly once without serializing
 // builds of *different* tables behind one lock.
+//
+//popt:frozen
 type tableEntry struct {
 	once sync.Once
-	t    *core.Table
+	t    *core.Table //popt:guardedby once
 }
 
+//popt:frozen
 type lrEntry struct {
 	once sync.Once
-	lr   *core.LineRefs
+	lr   *core.LineRefs //popt:guardedby once
 }
 
 // streamKey identifies one recorded reference stream: a graph identity
@@ -81,10 +84,12 @@ type streamKey struct {
 // shape matches the recorder's — within one experiment only fig16 varies
 // the cache at all, and it varies just the LLC, which the stream does not
 // depend on.
+//
+//popt:frozen
 type streamEntry struct {
 	once sync.Once
-	w    *kernels.Workload
-	tr   *trace.LLCTrace
+	w    *kernels.Workload //popt:guardedby once
+	tr   *trace.LLCTrace   //popt:guardedby once
 }
 
 func newArtifacts() *artifacts {
@@ -236,3 +241,4 @@ func (c Config) buildTOPT(refAdj *graph.Adj, arrs ...*mem.Array) *core.TOPT {
 	}
 	return core.NewTOPT(streams...)
 }
+

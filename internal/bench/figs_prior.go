@@ -98,8 +98,7 @@ func Fig12b(c Config) *Report {
 	}
 	suite := c.Suite()
 	// HATS's showcase input: community structure invisible to the ID order.
-	hidden := graph.Scramble(suite[1], c.Seed+99)
-	hidden.Name = "UK-hidden"
+	hidden := graph.Scramble(suite[1], c.Seed+99).Renamed("UK-hidden")
 	graphs := append(suite, hidden)
 	// One cell per graph, BDFS-order preprocessing included.
 	type cellOut struct{ base, bdfs, popt, topt Result }

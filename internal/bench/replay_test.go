@@ -91,7 +91,7 @@ func TestRunStreamPiggybacksRecording(t *testing.T) {
 			t.Errorf("%s: cached runStream diverged from live:\n got:  %s\n want: %s", s.Name, got, want)
 		}
 	}
-	if len(c.arts.streams) != 1 {
+	if len(c.arts.streams) != 1 { //lint:allow lockguard (single-threaded assert)
 		t.Errorf("stream cache holds %d entries, want 1", len(c.arts.streams))
 	}
 }

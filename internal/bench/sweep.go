@@ -54,7 +54,7 @@ type Sweep struct {
 	Progress func(CellEvent)
 
 	mu   sync.Mutex
-	done int
+	done int //popt:guardedby mu
 }
 
 // Run executes every cell and returns nil, or an error describing the
@@ -62,7 +62,9 @@ type Sweep struct {
 // the pool: the panicking worker records the failure and keeps draining,
 // so all other cells still complete and the pool always shuts down.
 func (s *Sweep) Run(cells []Cell) error {
+	s.mu.Lock()
 	s.done = 0
+	s.mu.Unlock()
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -57,6 +57,8 @@ func (k Kind) String() string {
 // the irregular array, one column per epoch of the outer traversal loop.
 // A Table never changes after BuildTable returns, so one Table can back
 // any number of concurrent simulations; per-run state lives in Matrix.
+//
+//popt:frozen
 type Table struct {
 	Kind Kind
 	// Bits is the entry width (4, 8 or 16; the paper's default is 8).

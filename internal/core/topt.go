@@ -40,6 +40,8 @@ type OracleStream struct {
 // union of its vertices' reference positions. Like core.Table it never
 // changes after construction and is safe to share across concurrent
 // simulations.
+//
+//popt:frozen
 type LineRefs struct {
 	oa   []uint64
 	refs []graph.V

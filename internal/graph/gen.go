@@ -165,9 +165,7 @@ func Scramble(g *Graph, seed int64) *Graph {
 	for i, x := range rng.Perm(g.NumVertices()) {
 		p[i] = V(x)
 	}
-	sg := p.Apply(g)
-	sg.Name = g.Name
-	return sg
+	return p.Apply(g).Renamed(g.Name)
 }
 
 // MeshScrambled is Mesh with vertex labels permuted uniformly at random.

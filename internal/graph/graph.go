@@ -24,6 +24,8 @@ type V = uint32
 // occupy NA[OA[v]:OA[v+1]] and are sorted in ascending order. Sorted
 // neighbor lists are what make transpose-based next-reference lookups a
 // binary search instead of a scan.
+//
+//popt:frozen
 type Adj struct {
 	OA []uint64
 	NA []V
@@ -72,6 +74,8 @@ func (a *Adj) NextAfter(v V, cur V) (next V, ok bool) {
 }
 
 // Graph is an immutable directed graph stored in both traversal directions.
+//
+//popt:frozen
 type Graph struct {
 	// Out is the CSR: Out.Neighs(s) are the destinations of edges leaving s.
 	Out Adj
@@ -98,6 +102,13 @@ func (g *Graph) AvgDegree() float64 {
 
 func (g *Graph) String() string {
 	return fmt.Sprintf("%s{n=%d m=%d avgDeg=%.1f}", g.Name, g.NumVertices(), g.NumEdges(), g.AvgDegree())
+}
+
+// Renamed returns a graph that shares g's adjacency storage but carries a
+// different report label. The copy is a fresh value, so callers can
+// relabel a published graph without mutating it.
+func (g *Graph) Renamed(name string) *Graph {
+	return &Graph{Out: g.Out, In: g.In, Name: name}
 }
 
 // Edge is a directed edge used by builders and generators.

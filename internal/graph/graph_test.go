@@ -362,26 +362,26 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	fresh := func() *Graph { return paperExample() }
 
 	g := fresh()
-	g.Out.OA[2], g.Out.OA[3] = g.Out.OA[3], g.Out.OA[2] // non-monotone offsets
+	g.Out.OA[2], g.Out.OA[3] = g.Out.OA[3], g.Out.OA[2] //lint:allow sharefreeze (inject non-monotone offsets)
 	if g.Validate() == nil {
 		t.Error("non-monotone offsets not detected")
 	}
 
 	g = fresh()
-	g.Out.NA[0] = 99 // out-of-range neighbor
+	g.Out.NA[0] = 99 //lint:allow sharefreeze (inject out-of-range neighbor)
 	if g.Validate() == nil {
 		t.Error("out-of-range neighbor not detected")
 	}
 
 	g = fresh()
-	g.Out.NA[4], g.Out.NA[5] = g.Out.NA[5], g.Out.NA[4] // unsorted neighbors
+	g.Out.NA[4], g.Out.NA[5] = g.Out.NA[5], g.Out.NA[4] //lint:allow sharefreeze (inject unsorted neighbors)
 	if g.Validate() == nil {
 		t.Error("unsorted neighbors not detected")
 	}
 
 	g = fresh()
 	// Replace an out-edge so the CSC no longer matches the CSR.
-	g.Out.NA[0] = 3 // 0->2 becomes 0->3, CSC still encodes 0->2
+	g.Out.NA[0] = 3 //lint:allow sharefreeze (0->2 becomes 0->3, CSC still encodes 0->2)
 	if g.Validate() == nil {
 		t.Error("CSR/CSC mismatch not detected")
 	}

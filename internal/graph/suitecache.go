@@ -16,7 +16,7 @@ import (
 
 var suiteCache struct {
 	sync.Mutex
-	m map[suiteKey][]*Graph
+	m map[suiteKey][]*Graph //popt:guardedby Mutex
 }
 
 type suiteKey struct {

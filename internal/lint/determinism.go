@@ -22,6 +22,7 @@ var SimPackages = []string{
 	"popt/internal/multicore",
 	"popt/internal/bench",
 	"popt/internal/trace",
+	"popt/internal/analysis",
 }
 
 // randSourceless are math/rand package-level functions that do NOT draw

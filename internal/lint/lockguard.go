@@ -1,0 +1,576 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockGuard enforces `//popt:guardedby <field>` annotations: every access
+// to an annotated struct field must occur on a path that holds the named
+// sibling guard — a sync.Mutex/RWMutex acquired by Lock/RLock, or a
+// sync.Once whose Do has been entered (inside the Do closure) or has
+// completed (any statement sequenced after the Do call). The analyzer is
+// flow-sensitive within a function: branches merge by intersection, a
+// branch that returns does not merge at all, and `defer mu.Unlock()`
+// keeps the guard held to the end of the function. Goroutine closures
+// start with an empty held set — a lock held at the `go` statement is not
+// held by the goroutine it launches — while ordinary closures and
+// deferred calls inherit the current state.
+//
+// This is the static twin of `go test -race` for the artifact caches: the
+// dynamic detector only reports an unlocked access when two goroutines
+// actually collide during a run, while lockguard flags the access on
+// every path, every build.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "checks that every access to a //popt:guardedby field happens " +
+		"while the named sync.Mutex is held or after/inside the named " +
+		"sync.Once's Do",
+	Run: runLockGuard,
+}
+
+// guardSpec resolves one annotated field to its guard.
+type guardSpec struct {
+	guard *types.Var // the sibling guard field
+	once  bool       // guard is a sync.Once (held after Do) vs a mutex
+	name  string     // the annotation text, for diagnostics
+}
+
+// guardKey identifies one held guard: the root object the access chain
+// bottoms out in (a local, a receiver, a package variable) plus the guard
+// field within it.
+type guardKey struct {
+	root  types.Object
+	guard *types.Var
+}
+
+type guardAnalysis struct {
+	pass   *Pass
+	guards map[*types.Var]guardSpec
+}
+
+func runLockGuard(pass *Pass) error {
+	an := &guardAnalysis{
+		pass:   pass,
+		guards: make(map[*types.Var]guardSpec),
+	}
+	an.collectAnnotations()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &guardWalker{an: an, fd: fd, held: map[guardKey]bool{}}
+			w.walkBlock(fd.Body.List)
+		}
+	}
+	return nil
+}
+
+// collectAnnotations finds every //popt:guardedby field in every struct
+// type (named or anonymous) and resolves the guard sibling. Bad
+// annotations — no such sibling, or a sibling that is not a sync
+// primitive — are diagnosed at the field.
+func (an *guardAnalysis) collectAnnotations() {
+	for _, file := range an.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tv, ok := an.pass.TypesInfo.Types[st]
+			if !ok {
+				return true
+			}
+			str, ok := tv.Type.(*types.Struct)
+			if !ok {
+				return true
+			}
+			idx := 0
+			for _, field := range st.Fields.List {
+				n := len(field.Names)
+				if n == 0 {
+					n = 1 // embedded
+				}
+				ann := guardAnnotation(field.Doc)
+				if ann == "" {
+					ann = guardAnnotation(field.Comment)
+				}
+				for j := 0; j < n; j++ {
+					if idx >= str.NumFields() {
+						break
+					}
+					fv := str.Field(idx)
+					idx++
+					if ann == "" {
+						continue
+					}
+					guard := findField(str, ann)
+					switch {
+					case guard == nil:
+						an.pass.Reportf(field.Pos(),
+							"//popt:guardedby %s on %s names no sibling field; the guard must be declared in the same struct",
+							ann, fv.Name())
+					case !isSyncGuard(guard.Type()):
+						an.pass.Reportf(field.Pos(),
+							"//popt:guardedby %s on %s: %s is %s, not a sync.Mutex, sync.RWMutex, or sync.Once",
+							ann, fv.Name(), ann, guard.Type().String())
+					default:
+						an.guards[fv] = guardSpec{
+							guard: guard,
+							once:  isSyncOnce(guard.Type()),
+							name:  ann,
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// guardAnnotation extracts the field name from a //popt:guardedby comment.
+func guardAnnotation(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		if rest, ok := strings.CutPrefix(text, "//popt:guardedby"); ok {
+			if fields := strings.Fields(rest); len(fields) > 0 {
+				return fields[0]
+			}
+		}
+	}
+	return ""
+}
+
+func findField(str *types.Struct, name string) *types.Var {
+	for i := 0; i < str.NumFields(); i++ {
+		if f := str.Field(i); f.Name() == name {
+			return f
+		}
+	}
+	return nil
+}
+
+func isSyncGuard(t types.Type) bool {
+	return syncTypeName(t) == "Mutex" || syncTypeName(t) == "RWMutex" || syncTypeName(t) == "Once"
+}
+
+func isSyncOnce(t types.Type) bool {
+	return syncTypeName(t) == "Once"
+}
+
+func syncTypeName(t types.Type) string {
+	named, ok := derefAll(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	tn := named.Obj()
+	if tn.Pkg() == nil || tn.Pkg().Path() != "sync" {
+		return ""
+	}
+	return tn.Name()
+}
+
+// guardWalker tracks the set of held guards through one function body.
+type guardWalker struct {
+	an   *guardAnalysis
+	fd   *ast.FuncDecl
+	held map[guardKey]bool
+}
+
+func (w *guardWalker) fork() *guardWalker {
+	c := *w
+	c.held = make(map[guardKey]bool, len(w.held))
+	for k := range w.held { //lint:ordered
+		c.held[k] = true
+	}
+	return &c
+}
+
+// mergeBranch joins a conditional path by intersection: a guard survives
+// only if every merged path still holds it. terminated paths (ending in
+// return) contribute nothing.
+func (w *guardWalker) mergeBranch(c *guardWalker, terminated bool) {
+	if terminated {
+		return
+	}
+	for k := range w.held { //lint:ordered
+		if !c.held[k] {
+			delete(w.held, k)
+		}
+	}
+}
+
+// terminates reports whether the statement (usually a branch body) ends in
+// a return — control never rejoins, so its guard state must not merge.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BlockStmt:
+		if len(s.List) == 0 {
+			return false
+		}
+		return terminates(s.List[len(s.List)-1])
+	case *ast.LabeledStmt:
+		return terminates(s.Stmt)
+	}
+	return false
+}
+
+func (w *guardWalker) walkBlock(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *guardWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.walkBlock(s.List)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.walkExpr(e)
+		}
+		for _, e := range s.Lhs {
+			w.walkExpr(e)
+		}
+	case *ast.IncDecStmt:
+		w.walkExpr(s.X)
+	case *ast.ExprStmt:
+		w.walkExpr(s.X)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.walkExpr(r)
+		}
+	case *ast.SendStmt:
+		w.walkExpr(s.Chan)
+		w.walkExpr(s.Value)
+	case *ast.GoStmt:
+		w.walkCall(s.Call, true, false)
+	case *ast.DeferStmt:
+		w.walkCall(s.Call, false, true)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkExpr(s.Cond)
+		then := w.fork()
+		then.walkStmt(s.Body)
+		if s.Else != nil {
+			els := w.fork()
+			els.walkStmt(s.Else)
+			thenEnds, elseEnds := terminates(s.Body), terminates(s.Else)
+			switch {
+			case thenEnds && elseEnds:
+				// Nothing rejoins; keep the pre-branch state (unreachable
+				// afterwards anyway).
+			case thenEnds:
+				w.held = els.held
+			case elseEnds:
+				w.held = then.held
+			default:
+				w.mergeBranch(then, false)
+				w.mergeBranch(els, false)
+			}
+			return
+		}
+		if terminates(s.Body) {
+			// The then-path leaves the function: fall through with the
+			// pre-branch state.
+			return
+		}
+		w.mergeBranch(then, false)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.walkExpr(s.Cond)
+		}
+		it := w.fork()
+		it.walkStmt(s.Body)
+		if s.Post != nil {
+			it.walkStmt(s.Post)
+		}
+		w.mergeBranch(it, false)
+	case *ast.RangeStmt:
+		w.walkExpr(s.X)
+		it := w.fork()
+		it.walkStmt(s.Body)
+		w.mergeBranch(it, false)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.walkExpr(s.Tag)
+		}
+		w.walkCaseBodies(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkCaseBodies(s.Body)
+	case *ast.SelectStmt:
+		w.walkCaseBodies(s.Body)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, v := range vs.Values {
+					w.walkExpr(v)
+				}
+			}
+		}
+	}
+}
+
+func (w *guardWalker) walkCaseBodies(body *ast.BlockStmt) {
+	for _, clause := range body.List {
+		c := w.fork()
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.walkExpr(e)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.walkStmt(cl.Comm)
+			}
+			stmts = cl.Body
+		}
+		c.walkBlock(stmts)
+		term := len(stmts) > 0 && terminates(stmts[len(stmts)-1])
+		w.mergeBranch(c, term)
+	}
+}
+
+func (w *guardWalker) walkExpr(e ast.Expr) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.Ident, *ast.BasicLit:
+	case *ast.ParenExpr:
+		w.walkExpr(x.X)
+	case *ast.SelectorExpr:
+		w.checkAccess(x)
+		w.walkExpr(x.X)
+	case *ast.IndexExpr:
+		w.walkExpr(x.X)
+		w.walkExpr(x.Index)
+	case *ast.SliceExpr:
+		w.walkExpr(x.X)
+		w.walkExpr(x.Low)
+		w.walkExpr(x.High)
+		w.walkExpr(x.Max)
+	case *ast.StarExpr:
+		w.walkExpr(x.X)
+	case *ast.UnaryExpr:
+		w.walkExpr(x.X)
+	case *ast.BinaryExpr:
+		w.walkExpr(x.X)
+		w.walkExpr(x.Y)
+	case *ast.KeyValueExpr:
+		w.walkExpr(x.Value)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			w.walkExpr(el)
+		}
+	case *ast.TypeAssertExpr:
+		w.walkExpr(x.X)
+	case *ast.FuncLit:
+		// An ordinary closure is assumed to run synchronously on this
+		// goroutine (callback idiom); goroutine launches are handled by
+		// GoStmt with an empty held set.
+		c := w.fork()
+		c.walkStmt(x.Body)
+	case *ast.CallExpr:
+		w.walkCall(x, false, false)
+	}
+}
+
+// walkCall handles one call: sync.Mutex Lock/Unlock transitions, the
+// sync.Once Do construction window, and ordinary calls. goMode walks
+// closure bodies with an empty held set (a new goroutine holds nothing);
+// deferMode suppresses Unlock (it runs at function exit, so the guard
+// stays held for the rest of the body).
+func (w *guardWalker) walkCall(call *ast.CallExpr, goMode, deferMode bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if method := w.syncMethod(sel); method != "" {
+			key, ok := w.guardKeyOf(sel)
+			if ok {
+				switch method {
+				case "Lock", "RLock":
+					if !deferMode {
+						w.held[key] = true
+					}
+				case "Unlock", "RUnlock":
+					if !deferMode {
+						delete(w.held, key)
+					}
+				case "Do":
+					w.walkOnceDo(call, key, goMode)
+					return
+				}
+			}
+			// Still visit the receiver chain for guarded accesses.
+			w.walkExpr(sel.X)
+			for _, arg := range call.Args {
+				w.walkExpr(arg)
+			}
+			return
+		}
+	}
+	w.walkExpr(call.Fun)
+	for _, arg := range call.Args {
+		if fl, ok := arg.(*ast.FuncLit); ok {
+			c := w.fork()
+			if goMode {
+				c.held = map[guardKey]bool{}
+			}
+			c.walkStmt(fl.Body)
+			continue
+		}
+		w.walkExpr(arg)
+	}
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		c := w.fork()
+		if goMode {
+			c.held = map[guardKey]bool{}
+		}
+		c.walkStmt(fl.Body)
+	}
+}
+
+// walkOnceDo walks once.Do(f): inside f the once-guard is held (this IS
+// the construction), and after the call it stays held — Do's
+// happens-before edge means every later read is properly sequenced.
+func (w *guardWalker) walkOnceDo(call *ast.CallExpr, key guardKey, goMode bool) {
+	if len(call.Args) == 1 {
+		if fl, ok := call.Args[0].(*ast.FuncLit); ok {
+			c := w.fork()
+			if goMode {
+				c.held = map[guardKey]bool{}
+			}
+			c.held[key] = true
+			c.walkStmt(fl.Body)
+		} else {
+			w.walkExpr(call.Args[0])
+		}
+	}
+	w.held[key] = true
+}
+
+// syncMethod reports the method name if sel resolves to a method of
+// sync.Mutex, sync.RWMutex, or sync.Once.
+func (w *guardWalker) syncMethod(sel *ast.SelectorExpr) string {
+	fn, ok := w.an.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if !isSyncGuard(sig.Recv().Type()) {
+		return ""
+	}
+	return fn.Name()
+}
+
+// guardKeyOf resolves the receiver chain of a sync method call to a
+// (root, guard-field) key. `a.mu.Lock()` yields (a, mu); the embedded
+// form `suiteCache.Lock()` resolves the promoted Mutex field through the
+// method selection's index path; a plain package-level `mu.Lock()` uses
+// the variable itself as both root and guard.
+func (w *guardWalker) guardKeyOf(sel *ast.SelectorExpr) (guardKey, bool) {
+	pass := w.an.pass
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		if idx := s.Index(); len(idx) > 1 {
+			// Promoted method: walk the field prefix to the guard field.
+			t := s.Recv()
+			var guard *types.Var
+			for _, i := range idx[:len(idx)-1] {
+				str, ok := derefAll(t).Underlying().(*types.Struct)
+				if !ok {
+					return guardKey{}, false
+				}
+				guard = str.Field(i)
+				t = guard.Type()
+			}
+			root, _ := writeRoot(pass, sel.X)
+			if root == nil || guard == nil {
+				return guardKey{}, false
+			}
+			return guardKey{root: root, guard: guard}, true
+		}
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		s, ok := pass.TypesInfo.Selections[x]
+		if !ok || s.Kind() != types.FieldVal {
+			return guardKey{}, false
+		}
+		guard, ok := s.Obj().(*types.Var)
+		if !ok {
+			return guardKey{}, false
+		}
+		root, _ := writeRoot(pass, x.X)
+		if root == nil {
+			return guardKey{}, false
+		}
+		return guardKey{root: root, guard: guard}, true
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[x]
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return guardKey{}, false
+		}
+		return guardKey{root: v, guard: v}, true
+	}
+	return guardKey{}, false
+}
+
+// checkAccess flags a use of a //popt:guardedby field on a path that does
+// not hold the guard.
+func (w *guardWalker) checkAccess(sel *ast.SelectorExpr) {
+	pass := w.an.pass
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	fv, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	spec, ok := w.an.guards[fv]
+	if !ok {
+		return
+	}
+	root, _ := writeRoot(pass, sel.X)
+	if root != nil && w.held[guardKey{root: root, guard: spec.guard}] {
+		return
+	}
+	if spec.once {
+		pass.Reportf(sel.Pos(),
+			"%s accesses %s, which is guarded by sync.Once %s, outside its Do; read it inside the Do closure or after the Do call",
+			w.fd.Name.Name, exprString(sel), spec.name)
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"%s accesses %s without holding %s (//popt:guardedby); lock %s around the access",
+		w.fd.Name.Name, exprString(sel), spec.name, spec.name)
+}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewLoopCapture builds the capture analyzer scoped to packages whose
+// import path starts with one of simPrefixes (default: SimPackages). It
+// inspects every goroutine launched lexically inside a for/range loop —
+// the sweep worker-pool and parallel-fill shape — and flags:
+//
+//   - references to an enclosing loop's iteration variables. Go 1.22
+//     gives each iteration its own variable, so this is memory-safe, but
+//     the sweep engine's determinism contract wants the dataflow explicit:
+//     pass the value as a call argument (`go func(lo, hi int){...}(lo,
+//     hi)`), never implicitly through the closure.
+//   - assignments to variables captured from the enclosing function: N
+//     loop goroutines writing one captured variable is a data race (or at
+//     best a scheduling-dependent result). Writes into a captured map are
+//     flagged unconditionally (concurrent map writes fault); writes into
+//     a captured slice are allowed only when every index is
+//     goroutine-local — the disjoint-slot idiom (`errs[i] = ...` with i a
+//     closure parameter) that the worker pool relies on — and writes
+//     through captured pointers/selectors are flagged because the target
+//     is shared unless proven frozen-fresh, which is the sharefreeze
+//     analyzer's job, not a capture's.
+//
+// Method calls on captured values are deliberately not flagged: the sweep
+// workers call s.drain/s.runCell on a shared *Sweep whose internal writes
+// are lock-guarded (lockguard's jurisdiction) and read shared frozen
+// artifacts (sharefreeze's jurisdiction).
+func NewLoopCapture(simPrefixes ...string) *Analyzer {
+	if len(simPrefixes) == 0 {
+		simPrefixes = SimPackages
+	}
+	a := &Analyzer{
+		Name: "loopcapture",
+		Doc: "flags goroutines launched inside loops that capture loop " +
+			"variables by reference or write captured shared state; loop " +
+			"data must flow through call arguments or disjoint slice slots",
+	}
+	a.Run = func(pass *Pass) error {
+		if !inScope(pass.Pkg.Path(), simPrefixes) {
+			return nil
+		}
+		for _, file := range pass.Files {
+			ast.Walk(&capVisitor{pass: pass, loopVars: map[types.Object]bool{}}, file)
+		}
+		return nil
+	}
+	return a
+}
+
+// capVisitor walks a file carrying the lexical loop context: how many
+// loops enclose the current node and which iteration variables they
+// declare. ast.Walk gives each loop's subtree a child visitor, so the
+// context pops automatically.
+type capVisitor struct {
+	pass     *Pass
+	depth    int
+	loopVars map[types.Object]bool
+}
+
+func (v *capVisitor) Visit(n ast.Node) ast.Visitor {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return v.push(forInitVars(v.pass, n))
+	case *ast.RangeStmt:
+		return v.push(rangeVars(v.pass, n))
+	case *ast.GoStmt:
+		if v.depth > 0 {
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				v.checkClosure(fl)
+			}
+		}
+	}
+	return v
+}
+
+func (v *capVisitor) push(vars []types.Object) *capVisitor {
+	c := &capVisitor{pass: v.pass, depth: v.depth + 1, loopVars: make(map[types.Object]bool, len(v.loopVars)+len(vars))}
+	for o := range v.loopVars { //lint:ordered
+		c.loopVars[o] = true
+	}
+	for _, o := range vars {
+		c.loopVars[o] = true
+	}
+	return c
+}
+
+// forInitVars returns the iteration variables a `for i := ...` header
+// declares.
+func forInitVars(pass *Pass, fs *ast.ForStmt) []types.Object {
+	as, ok := fs.Init.(*ast.AssignStmt)
+	if !ok {
+		return nil
+	}
+	var out []types.Object
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// rangeVars returns the key/value variables a range header declares.
+func rangeVars(pass *Pass, rs *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// checkClosure inspects one loop-launched goroutine closure for loop-var
+// references and captured-state writes.
+func (v *capVisitor) checkClosure(fl *ast.FuncLit) {
+	reportedVars := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := v.pass.TypesInfo.Uses[n]
+			if obj != nil && v.loopVars[obj] && !reportedVars[obj] {
+				reportedVars[obj] = true
+				v.pass.Reportf(n.Pos(),
+					"goroutine launched inside a loop captures loop variable %s; pass it as a call argument so the per-iteration dataflow is explicit",
+					n.Name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				v.checkCapturedWrite(lhs, fl)
+			}
+		case *ast.IncDecStmt:
+			v.checkCapturedWrite(n.X, fl)
+		}
+		return true
+	})
+}
+
+// localTo reports whether obj is declared inside the closure (parameters
+// and locals), making writes through it goroutine-private.
+func localTo(fl *ast.FuncLit, obj types.Object) bool {
+	return obj != nil && obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End()
+}
+
+// checkCapturedWrite flags an assignment target that reaches state
+// captured from outside the goroutine closure.
+func (v *capVisitor) checkCapturedWrite(lhs ast.Expr, fl *ast.FuncLit) {
+	pass := v.pass
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		obj := lhsObject(pass, x)
+		if obj == nil || localTo(fl, obj) {
+			return
+		}
+		if _, ok := obj.(*types.Var); !ok {
+			return
+		}
+		pass.Reportf(lhs.Pos(),
+			"goroutine in a loop assigns to captured variable %s; every worker shares one slot, so the result depends on scheduling — use a per-iteration variable or a channel",
+			x.Name)
+	case *ast.IndexExpr:
+		root, _ := writeRoot(pass, x)
+		if root == nil || localTo(fl, root) {
+			return
+		}
+		if _, ok := root.(*types.Var); !ok {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[x.X]
+		if !ok {
+			return
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			pass.Reportf(lhs.Pos(),
+				"goroutine in a loop writes captured map %s; concurrent map writes fault — collect per-goroutine results and merge after the join",
+				exprString(x.X))
+		case *types.Slice, *types.Array, *types.Pointer:
+			if !v.indexIsLocal(x.Index, fl) {
+				pass.Reportf(lhs.Pos(),
+					"goroutine in a loop writes captured slice %s at an index that is not goroutine-local; disjoint-slot writes must index with a closure parameter or local",
+					exprString(x.X))
+			}
+		}
+	case *ast.SelectorExpr, *ast.StarExpr:
+		root, _ := writeRoot(pass, lhs)
+		if root == nil || localTo(fl, root) {
+			return
+		}
+		if _, ok := root.(*types.Var); !ok {
+			return
+		}
+		pass.Reportf(lhs.Pos(),
+			"goroutine in a loop writes shared state through captured %s; shared mutation from loop workers needs a lock (lockguard) or a frozen constructor (sharefreeze), not a bare captured pointer",
+			root.Name())
+	case *ast.ParenExpr:
+		v.checkCapturedWrite(x.X, fl)
+	}
+}
+
+// indexIsLocal reports whether every variable in an index expression is
+// declared inside the closure — the disjoint-slot proof.
+func (v *capVisitor) indexIsLocal(index ast.Expr, fl *ast.FuncLit) bool {
+	local := true
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := v.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if !localTo(fl, obj) {
+			local = false
+		}
+		return true
+	})
+	return local
+}

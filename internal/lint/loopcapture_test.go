@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLoopCapture(t *testing.T) {
+	RunTest(t, "testdata", NewLoopCapture("capture"), "capture")
+}

@@ -1,0 +1,13 @@
+package lint
+
+import "testing"
+
+func TestShareFreeze(t *testing.T) {
+	RunTest(t, "testdata", NewShareFreeze(), "freeze")
+}
+
+// TestShareFreezeRegistryConsistency pins the cross-check that keeps the
+// central registry and the //popt:frozen declarations in sync.
+func TestShareFreezeRegistryConsistency(t *testing.T) {
+	RunTest(t, "testdata", NewShareFreeze("freezereg.MissReg"), "freezereg")
+}

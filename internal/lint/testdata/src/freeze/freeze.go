@@ -1,0 +1,204 @@
+// Package freeze exercises the sharefreeze analyzer: Table stands in for
+// the Rereference Matrix artifacts (core.Table, core.LineRefs, the graph
+// CSR arrays) that sweep cells share read-only.
+package freeze
+
+import "sync"
+
+// Table is the shared artifact under test.
+//
+//popt:frozen
+type Table struct {
+	entries []uint16
+	epochs  int
+}
+
+var shared *Table
+
+var registry = map[string]*Table{}
+
+// Build is the legal constructor shape: fill the fresh value directly,
+// through a helper, and from a constructor-launched goroutine, then
+// return it.
+func Build(n int) *Table {
+	t := &Table{entries: make([]uint16, n)}
+	t.epochs = n
+	for i := range t.entries {
+		t.entries[i] = uint16(i)
+	}
+	fill(t, 7)
+	done := make(chan struct{})
+	go func() {
+		t.entries[0] = 1
+		close(done)
+	}()
+	<-done
+	return t
+}
+
+// fill writes through its parameter; legal only with fresh arguments —
+// each call site is judged by this helper's summary.
+func fill(t *Table, v uint16) {
+	for i := range t.entries {
+		t.entries[i] = v
+	}
+}
+
+// zeroFirst is the bottom of a two-deep helper chain.
+func zeroFirst(t *Table) {
+	t.entries[0] = 0
+}
+
+// scrub delegates to zeroFirst; its summary inherits the write.
+func scrub(t *Table) {
+	zeroFirst(t)
+}
+
+// BuildZero shows the zero-value construction path.
+func BuildZero() *Table {
+	var t Table
+	t.entries = make([]uint16, 4)
+	t.entries[2] = 9
+	return &t
+}
+
+// MutateResult mutates a constructor's return value: the canonical bug.
+func MutateResult(n int) {
+	t := Build(n)
+	t.entries[0] = 9 // want `stores to t\.entries\[\.\.\.\], mutating frozen Table after publication`
+}
+
+// MutateShared writes the package-level published table.
+func MutateShared() {
+	shared.epochs = 3 // want `stores to shared\.epochs, mutating frozen Table after publication`
+}
+
+// PublishThenWrite stores a fresh table into a package variable and keeps
+// mutating through the local: publication ends the construction window.
+func PublishThenWrite(n int) {
+	t := &Table{entries: make([]uint16, n)}
+	shared = t
+	t.entries[1] = 2 // want `stores to t\.entries\[\.\.\.\], mutating frozen Table after publication`
+}
+
+// HelperChainWrite passes a published table into a helper chain; the
+// diagnostic names the offending store two calls down.
+func HelperChainWrite() {
+	t := Build(4)
+	scrub(t) // want `passes published frozen Table to scrub, which stores to it`
+}
+
+// FreshHelperOK is the negative twin: the same helpers on a still-fresh
+// value are constructor work.
+func FreshHelperOK() *Table {
+	t := &Table{entries: make([]uint16, 4)}
+	scrub(t)
+	fill(t, 3)
+	return t
+}
+
+// AliasWrite mutates through an alias of the table's interior storage.
+func AliasWrite() {
+	t := Build(4)
+	es := t.entries
+	es[0] = 5 // want `writes frozen shared storage through alias es`
+}
+
+// AppendAlias appends to aliased frozen storage, which may write the
+// shared backing array in place.
+func AppendAlias() {
+	t := Build(4)
+	es := t.entries
+	es = append(es, 1) // want `appends to frozen shared storage`
+	_ = es
+}
+
+// CopyInto overwrites frozen storage with copy.
+func CopyInto(src []uint16) {
+	t := Build(4)
+	copy(t.entries, src) // want `copies into frozen shared storage`
+}
+
+// RaceWrite launches a goroutine that mutates an already-published table:
+// exactly the race the sweep workers would hit.
+func RaceWrite() {
+	t := Build(4)
+	go func() {
+		t.entries[2] = 7 // want `stores to t\.entries\[\.\.\.\], mutating frozen Table after publication`
+	}()
+}
+
+// MutateRegistry mutates a table pulled out of package-level state.
+func MutateRegistry(k string) {
+	t := registry[k]
+	t.epochs++ // want `stores to t\.epochs, mutating frozen Table after publication`
+}
+
+// Register publishes into the registry map; writing the non-frozen map
+// itself is fine, and the fresh table may not be touched afterwards.
+func Register(k string, n int) {
+	t := &Table{entries: make([]uint16, n)}
+	registry[k] = t
+	t.epochs = 1 // want `stores to t\.epochs, mutating frozen Table after publication`
+}
+
+// entry mirrors the artifact-cache value types: lazy construction behind
+// the value's own sync.Once.
+//
+//popt:frozen
+type entry struct {
+	once sync.Once
+	t    *Table
+}
+
+var entries = map[string]*entry{}
+
+// lazy initializes the entry inside its own Once: construction by
+// definition, so the stores are legal.
+func lazy(e *entry, n int) *Table {
+	e.once.Do(func() {
+		e.t = Build(n)
+	})
+	return e.t
+}
+
+// Lookup exercises the full cache idiom end to end.
+func Lookup(k string, n int) *Table {
+	e := entries[k]
+	if e == nil {
+		e = &entry{}
+		entries[k] = e
+	}
+	return lazy(e, n)
+}
+
+// MutateEntry writes an entry field outside its Once after pulling it out
+// of package-level state.
+func MutateEntry(k string) {
+	e := entries[k]
+	e.t = nil // want `stores to e\.t, mutating frozen entry after publication`
+}
+
+// Exported mutators are flagged at the declaration: external callers are
+// invisible, so no exported function may write through a frozen
+// parameter or receiver.
+func Reset(t *Table) { // want `exported Reset writes frozen Table through its parameter t`
+	t.epochs = 0
+}
+
+// Bump is the method form of the same violation.
+func (t *Table) Bump() { // want `exported Bump writes frozen Table through its receiver`
+	t.epochs++
+}
+
+// Epochs is a legal exported read-only method.
+func (t *Table) Epochs() int {
+	return t.epochs
+}
+
+// allowDirective proves suppression works for deliberate test-fixture
+// corruption (the graph Validate tests).
+func allowDirective() {
+	t := Build(2)
+	t.entries[0] = 3 //lint:allow sharefreeze
+}

@@ -1,0 +1,12 @@
+// Package freezereg exercises the registry/annotation cross-check: a type
+// listed in the analyzer's registry must carry //popt:frozen at its
+// declaration.
+package freezereg
+
+type MissReg struct { // want `MissReg is registered in lint\.FrozenTypes but its declaration has no //popt:frozen directive`
+	n int
+}
+
+func mutate(m *MissReg) {
+	m.n = 1
+}

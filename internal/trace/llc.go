@@ -137,6 +137,8 @@ func (e *LLCEncoder) Trace(instructions uint64, l1, l2 cache.Stats) *LLCTrace {
 // LLCTrace is an immutable encoded LLC-visible stream plus the
 // setup-invariant totals of the run that recorded it. It is safe to
 // replay from multiple goroutines concurrently.
+//
+//popt:frozen
 type LLCTrace struct {
 	data         []byte
 	instructions uint64

@@ -224,6 +224,8 @@ func (e *Encoder) Trace() *Trace {
 // Trace is an immutable encoded reference stream. It is safe to replay
 // from multiple goroutines concurrently (each Replay carries its own
 // decode state).
+//
+//popt:frozen
 type Trace struct {
 	data  []byte
 	stats Stats
