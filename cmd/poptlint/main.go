@@ -1,10 +1,20 @@
 // Command poptlint runs the repository's custom static-analysis suite
 // (internal/lint) over the given packages: simulator determinism, the
 // cache.Policy contract (syntactic policycontract plus the borrowflow
-// dataflow analyzer), cache.Stats write discipline, and the
-// publish-safety family for shared sweep artifacts (sharefreeze,
-// lockguard, loopcapture). It exits nonzero when any finding survives
-// the //lint directives, so it can gate CI the same way go vet does.
+// dataflow analyzer), cache.Stats write discipline, the publish-safety
+// family for shared sweep artifacts (sharefreeze, lockguard,
+// loopcapture), and the wire-format family for the trace codecs
+// (codecpair, formatlock, opexhaust). It exits nonzero when any finding
+// survives the //lint directives, so it can gate CI the same way go vet
+// does.
+//
+// With -wirecheck it runs only the wire-format family: codecpair proves
+// every //popt:codec enc/dec pair encodes and decodes the same per-opcode
+// payload layout, formatlock diffs each stream's canonical fingerprint
+// against the checked-in baseline (drift without a FormatVersions bump
+// fails; -update regenerates the baseline after a deliberate bump), and
+// opexhaust requires opcode dispatch switches to cover every declared
+// opcode with a loud default.
 //
 // With -hotpath it instead runs the hot-path performance gate
 // (internal/lint/hotpath): every //popt:hot function is compiled with
@@ -19,6 +29,8 @@
 //	go run ./cmd/poptlint -list
 //	go run ./cmd/poptlint -run determinism ./internal/cache/...
 //	go run ./cmd/poptlint -sharefreeze ./...
+//	go run ./cmd/poptlint -wirecheck ./...
+//	go run ./cmd/poptlint -wirecheck -update ./...
 //	go run ./cmd/poptlint -hotpath
 //	go run ./cmd/poptlint -hotpath -update
 //
@@ -42,6 +54,10 @@ import (
 // module root.
 const DefaultBaseline = "internal/lint/testdata/hotpath.baseline"
 
+// DefaultWireBaseline is the checked-in wire-format fingerprint baseline,
+// relative to the module root.
+const DefaultWireBaseline = "internal/lint/testdata/wireformat.baseline"
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -53,14 +69,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	runSel := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	freezeOnly := fs.Bool("sharefreeze", false, "run only the publish-safety family: sharefreeze, lockguard, loopcapture")
+	wireOnly := fs.Bool("wirecheck", false, "run only the wire-format family: codecpair, formatlock, opexhaust")
 	dir := fs.String("C", "", "run as if started in this directory (module root)")
 	hot := fs.Bool("hotpath", false, "run the hot-path performance gate instead of the analyzers")
-	update := fs.Bool("update", false, "with -hotpath, regenerate the baseline instead of diffing")
+	update := fs.Bool("update", false, "with -hotpath or -wirecheck, regenerate the baseline instead of diffing")
 	baseline := fs.String("baseline", DefaultBaseline, "with -hotpath, baseline file (relative to -C dir)")
+	wireBaseline := fs.String("wirebaseline", DefaultWireBaseline, "with -wirecheck, wire-format baseline file (relative to -C dir)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	wireBaselinePath := *wireBaseline
+	if !filepath.IsAbs(wireBaselinePath) && *dir != "" {
+		wireBaselinePath = filepath.Join(*dir, wireBaselinePath)
+	}
 	all := []*lint.Analyzer{
 		lint.NewDeterminism(),
 		lint.PolicyContract,
@@ -69,6 +91,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		lint.NewShareFreeze(),
 		lint.LockGuard,
 		lint.NewLoopCapture(),
+		lint.CodecPair,
+		lint.NewFormatLock(wireBaselinePath, *update),
+		lint.OpExhaust,
 	}
 	if *list {
 		for _, a := range all {
@@ -77,16 +102,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *hot && *wireOnly {
+		fmt.Fprintln(stderr, "poptlint: -hotpath and -wirecheck are mutually exclusive")
+		return 2
+	}
 	if *hot {
 		return runHotpath(*dir, *baseline, *update, fs.Args(), stdout, stderr)
 	}
-	if *update {
-		fmt.Fprintln(stderr, "poptlint: -update only applies with -hotpath")
+	if *update && !*wireOnly {
+		fmt.Fprintln(stderr, "poptlint: -update only applies with -hotpath or -wirecheck")
 		return 2
 	}
 
 	if *freezeOnly && *runSel != "" {
 		fmt.Fprintln(stderr, "poptlint: -sharefreeze and -run are mutually exclusive")
+		return 2
+	}
+	if *wireOnly && (*runSel != "" || *freezeOnly) {
+		fmt.Fprintln(stderr, "poptlint: -wirecheck is mutually exclusive with -run and -sharefreeze")
 		return 2
 	}
 	analyzers := all
@@ -95,6 +128,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, a := range all {
 			switch a.Name {
 			case "sharefreeze", "lockguard", "loopcapture":
+				analyzers = append(analyzers, a)
+			}
+		}
+	}
+	if *wireOnly {
+		analyzers = nil
+		for _, a := range all {
+			switch a.Name {
+			case "codecpair", "formatlock", "opexhaust":
 				analyzers = append(analyzers, a)
 			}
 		}

@@ -72,19 +72,19 @@ func TestListExitsClean(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list: exit %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "policycontract", "borrowflow", "statsdiscipline", "sharefreeze", "lockguard", "loopcapture"} {
+	for _, name := range []string{"determinism", "policycontract", "borrowflow", "statsdiscipline", "sharefreeze", "lockguard", "loopcapture", "codecpair", "formatlock", "opexhaust"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
 		}
 	}
 }
 
-func TestUpdateWithoutHotpathIsUsageError(t *testing.T) {
+func TestUpdateWithoutGateIsUsageError(t *testing.T) {
 	code, _, errOut := runCmd(t, "-update")
 	if code != 2 {
 		t.Fatalf("-update alone: exit %d, want 2", code)
 	}
-	if !strings.Contains(errOut, "-update only applies with -hotpath") {
+	if !strings.Contains(errOut, "-update only applies with -hotpath or -wirecheck") {
 		t.Errorf("stderr missing usage hint: %s", errOut)
 	}
 }
@@ -193,6 +193,127 @@ func TestRunSingleFreezeAnalyzer(t *testing.T) {
 		if strings.Contains(out, reject) {
 			t.Errorf("stdout has %s finding under -run sharefreeze:\n%s", reject, out)
 		}
+	}
+}
+
+func TestWirecheckFamilyFindings(t *testing.T) {
+	// wiremod seeds one violation per wire-format analyzer; the family
+	// flag must surface all three and exit 1.
+	code, out, errOut := runCmd(t, "-C", filepath.Join("testdata", "wiremod"), "-wirecheck", "-wirebaseline", "wireformat.baseline", "./...")
+	if code != 1 {
+		t.Fatalf("-wirecheck on wiremod: exit %d, want 1 (stdout %q, stderr %q)", code, out, errOut)
+	}
+	for _, want := range []string{
+		`asymmetric codec for opcode aopB of stream "pair"`,
+		"[codecpair]",
+		`wire fingerprint of stream "drift" changed but FormatVersions["drift"] is still 1`,
+		"[formatlock]",
+		"opcode dispatch in replaySilent does not handle bopC",
+		"default clause of the opcode dispatch in replaySilent is silent",
+		"[opexhaust]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(errOut, "finding(s)") {
+		t.Errorf("stderr missing findings summary: %s", errOut)
+	}
+}
+
+func TestWirecheckExcludesOtherAnalyzers(t *testing.T) {
+	// lintmod's borrowflow violation is invisible to -wirecheck, and a
+	// module with no //popt:codec annotations is vacuously clean.
+	code, out, errOut := runCmd(t, "-C", filepath.Join("testdata", "lintmod"), "-wirecheck", "./...")
+	if code != 0 {
+		t.Fatalf("-wirecheck on lintmod: exit %d, want 0 (stdout %q, stderr %q)", code, out, errOut)
+	}
+}
+
+func TestWirecheckFlagExclusions(t *testing.T) {
+	for _, args := range [][]string{
+		{"-wirecheck", "-run", "codecpair", "./..."},
+		{"-wirecheck", "-sharefreeze", "./..."},
+		{"-wirecheck", "-hotpath"},
+	} {
+		code, _, errOut := runCmd(t, args...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2", args, code)
+		}
+		if !strings.Contains(errOut, "mutually exclusive") {
+			t.Errorf("%v: stderr missing mutual-exclusion message: %s", args, errOut)
+		}
+	}
+}
+
+func TestWirecheckUpdateRefusesDriftWithoutBump(t *testing.T) {
+	// Drift at an unchanged version must not be silently baselined: the
+	// "drift" finding survives -update and the baseline file stays put.
+	dir := copyModule(t, filepath.Join("testdata", "wiremod"))
+	before, err := os.ReadFile(filepath.Join(dir, "wireformat.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCmd(t, "-C", dir, "-wirecheck", "-update", "-wirebaseline", "wireformat.baseline", "./...")
+	if code != 1 {
+		t.Fatalf("-wirecheck -update on drifted wiremod: exit %d, want 1 (stdout %q, stderr %q)", code, out, errOut)
+	}
+	if !strings.Contains(out, `wire fingerprint of stream "drift" changed`) {
+		t.Errorf("stdout missing surviving drift finding:\n%s", out)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "wireformat.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Errorf("-update rewrote the baseline despite refusing the drift:\n%s", after)
+	}
+}
+
+func TestWirecheckUpdateAfterVersionBump(t *testing.T) {
+	// Bumping FormatVersions["drift"] makes the drift legitimate: -update
+	// rewrites that stream's baseline entry, the drift finding disappears,
+	// and a second -update is byte-identical.
+	dir := copyModule(t, filepath.Join("testdata", "wiremod"))
+	src, err := os.ReadFile(filepath.Join(dir, "wire.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := strings.Replace(string(src), `"drift":  1,`, `"drift":  2,`, 1)
+	if bumped == string(src) {
+		t.Fatal("failed to bump the drift version in the fixture")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wire.go"), []byte(bumped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCmd(t, "-C", dir, "-wirecheck", "-update", "-wirebaseline", "wireformat.baseline", "./...")
+	if code != 1 { // codecpair and opexhaust seeds remain
+		t.Fatalf("-update after bump: exit %d, want 1 (stdout %q, stderr %q)", code, out, errOut)
+	}
+	if strings.Contains(out, "[formatlock]") {
+		t.Errorf("formatlock finding survived a legitimate bump + -update:\n%s", out)
+	}
+	first, err := os.ReadFile(filepath.Join(dir, "wireformat.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(first), "stream drift version 2") || !strings.Contains(string(first), "op 1 copA varint") {
+		t.Errorf("baseline not rewritten for the bumped stream:\n%s", first)
+	}
+	if code, _, errOut = runCmd(t, "-C", dir, "-wirecheck", "-update", "-wirebaseline", "wireformat.baseline", "./..."); code != 1 {
+		t.Fatalf("second -update: exit %d, want 1 (stderr %q)", code, errOut)
+	}
+	second, err := os.ReadFile(filepath.Join(dir, "wireformat.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("-update is not idempotent:\n%s\nvs\n%s", first, second)
+	}
+	// The now-locked stream passes check mode too.
+	code, out, _ = runCmd(t, "-C", dir, "-wirecheck", "-wirebaseline", "wireformat.baseline", "./...")
+	if code != 1 || strings.Contains(out, "[formatlock]") {
+		t.Fatalf("check after bump+update: exit %d with formatlock findings?\n%s", code, out)
 	}
 }
 

@@ -1,0 +1,148 @@
+// Package wiremod seeds one violation per wirecheck analyzer for the
+// -wirecheck exit-code tests: stream "pair" has an asymmetric codec arm
+// (codecpair), stream "silent" has a dispatch switch whose default clause
+// swallows corrupt opcodes (opexhaust), and stream "drift" changed its
+// payload layout without bumping FormatVersions (formatlock, against the
+// checked-in wireformat.baseline next to this file).
+package wiremod
+
+var FormatVersions = map[string]byte{
+	"pair":   1,
+	"silent": 1,
+	"drift":  1,
+}
+
+const (
+	aopA byte = iota + 1
+	aopB
+)
+
+const (
+	bopA byte = iota + 1
+	bopB
+	bopC // declared but never dispatched: the uncovered-opcode seed
+)
+
+const (
+	copA byte = iota + 1
+)
+
+type enc struct{ buf []byte }
+
+func appendUvarint(buf []byte, x uint64) []byte {
+	for x >= 0x80 {
+		buf = append(buf, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(buf, byte(x))
+}
+
+func appendVarint(buf []byte, x int64) []byte {
+	return appendUvarint(buf, uint64(x)<<1^uint64(x>>63))
+}
+
+func uvarint(data []byte, i int) (uint64, int) {
+	var x uint64
+	var shift uint
+	for i < len(data) {
+		b := data[i]
+		i++
+		x |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return x, i
+		}
+		shift += 7
+	}
+	panic("wiremod: truncated varint")
+}
+
+func varint(data []byte, i int) (int64, int) {
+	ux, n := uvarint(data, i)
+	return int64(ux>>1) ^ -int64(ux&1), n
+}
+
+// PairA and PairB encode stream "pair"; the decoder reads aopB's payload
+// as one varint where PairB wrote two.
+//
+//popt:codec pair enc
+func (e *enc) PairA(x uint64) {
+	e.buf = append(e.buf, aopA)
+	e.buf = appendUvarint(e.buf, x)
+}
+
+//popt:codec pair enc
+func (e *enc) PairB(a, b int64) {
+	e.buf = append(e.buf, aopB)
+	e.buf = appendVarint(e.buf, a)
+	e.buf = appendVarint(e.buf, b)
+}
+
+//popt:codec pair dec
+func replayPair(data []byte) {
+	i := 0
+	for i < len(data) {
+		op := data[i]
+		i++
+		switch op {
+		case aopA:
+			_, i = uvarint(data, i)
+		case aopB:
+			_, i = varint(data, i)
+		default:
+			panic("wiremod: bad pair opcode")
+		}
+	}
+}
+
+// Silent's codec arms match, but the dispatch misses the declared bopC
+// and its default swallows unknown opcodes instead of failing loudly.
+//
+//popt:codec silent enc
+func (e *enc) Silent(x uint64, d int64) {
+	e.buf = append(e.buf, bopA)
+	e.buf = appendUvarint(e.buf, x)
+	e.buf = append(e.buf, bopB)
+	e.buf = appendVarint(e.buf, d)
+}
+
+//popt:codec silent dec
+func replaySilent(data []byte) {
+	i := 0
+	for i < len(data) {
+		op := data[i]
+		i++
+		switch op {
+		case bopA:
+			_, i = uvarint(data, i)
+		case bopB:
+			_, i = varint(data, i)
+		default:
+			_ = op
+		}
+	}
+}
+
+// Drift's codec arms match each other, but the payload changed from the
+// uvarint the baseline records to a varint while FormatVersions["drift"]
+// stayed at 1.
+//
+//popt:codec drift enc
+func (e *enc) Drift(d int64) {
+	e.buf = append(e.buf, copA)
+	e.buf = appendVarint(e.buf, d)
+}
+
+//popt:codec drift dec
+func replayDrift(data []byte) {
+	i := 0
+	for i < len(data) {
+		op := data[i]
+		i++
+		switch op {
+		case copA:
+			_, i = varint(data, i)
+		default:
+			panic("wiremod: bad drift opcode")
+		}
+	}
+}

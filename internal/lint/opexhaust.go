@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// OpExhaust verifies that every opcode dispatch switch inside an
+// annotated decoder covers the full declared opcode set, and that its
+// default clause fails loudly. The opcode set is the leading iota run of
+// the constants' block (`opX byte = iota + 1` followed by bare names);
+// derived masks and markers declared after an explicit re-valuing
+// (opMask, pcEscape) are not opcodes. A switch that silently skips an
+// opcode — or swallows an unknown one — turns stream corruption into
+// quiet misdecoding, which is exactly what the panic-based hot replay
+// and the error-returning validating decoders exist to prevent.
+var OpExhaust = &Analyzer{
+	Name: "opexhaust",
+	Doc: "checks opcode dispatch switches in //popt:codec dec functions: " +
+		"every opcode of the const block's iota run must be handled and the " +
+		"default clause must panic or return an error",
+	Run: runOpExhaust,
+}
+
+func runOpExhaust(pass *Pass) error {
+	fns := parseCodecFuncs(pass, false)
+	var decs []*codecFn
+	for _, fn := range fns {
+		if !fn.enc {
+			decs = append(decs, fn)
+		}
+	}
+	if len(decs) == 0 {
+		return nil
+	}
+	w := newWireWalker(pass)
+	for _, fn := range decs {
+		if fn.decl.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			ds := classifyDispatch(w, sw)
+			if ds == nil {
+				return true
+			}
+			checkDispatch(pass, w, fn, ds)
+			return false
+		})
+	}
+	return nil
+}
+
+func checkDispatch(pass *Pass, w *wireWalker, fn *codecFn, ds *dispatchSwitch) {
+	var missing []string
+	for _, name := range ds.block.universe {
+		if !ds.caseVals[ds.block.values[name]] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		pass.Reportf(ds.sw.Pos(),
+			"opcode dispatch in %s does not handle %s (declared in the %s opcode block); every opcode must have an arm",
+			fn.name(), strings.Join(missing, ", "), ds.block.blockName)
+	}
+	switch {
+	case ds.def == nil:
+		pass.Reportf(ds.sw.Pos(),
+			"opcode dispatch in %s has no default clause; an unknown opcode must panic or return an error, not fall through silently",
+			fn.name())
+	case !loudStmts(w, ds.def.Body):
+		pass.Reportf(ds.def.Pos(),
+			"default clause of the opcode dispatch in %s is silent; corrupt opcodes must panic (badOp) or return an error",
+			fn.name())
+	}
+}
+
+// loudStmts reports whether the statements reach a panic (directly or via
+// a same-package panicking helper like badOp) or return a non-nil error.
+func loudStmts(w *wireWalker, stmts []ast.Stmt) bool {
+	loud := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if wireCalleeName(n) == "panic" || w.callPanics(n) {
+					loud = true
+				}
+			case *ast.ReturnStmt:
+				if w.isErrorReturn(n) {
+					loud = true
+				}
+			}
+			return !loud
+		})
+		if loud {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+// Package wire is a miniature of the real trace codec for the codecpair
+// analyzer: stream "w" seeds one violation of each parity rule, and the
+// clean opcodes exercise the opcode-variable, PC-nibble, merged-opcode,
+// and memoized-branch idioms the extractor must handle without noise.
+package wire
+
+const (
+	wopA byte = iota + 1 // uvarint payload
+	wopB                 // encoded as two varints, decoded as one
+	wopC                 // encoded but never dispatched
+	wopD                 // dispatched but never encoded
+	wopE                 // PC nibble + varint delta
+	wopF                 // merged form of wopE: PC nibble + uvarint + varint
+
+	wopMask  byte = 0x0f
+	pcEscape byte = 15
+	pcInline      = 13
+)
+
+type enc struct {
+	buf     []byte
+	pending uint64
+}
+
+func appendUvarint(buf []byte, x uint64) []byte {
+	for x >= 0x80 {
+		buf = append(buf, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(buf, byte(x))
+}
+
+func appendVarint(buf []byte, x int64) []byte {
+	return appendUvarint(buf, uint64(x)<<1^uint64(x>>63))
+}
+
+// A encodes a single uvarint payload; its decode arm matches.
+//
+//popt:codec w enc
+func (e *enc) A(x uint64) {
+	e.buf = append(e.buf, wopA)
+	e.buf = appendUvarint(e.buf, x)
+}
+
+// B encodes two varints, but the decoder reads only one.
+//
+//popt:codec w enc
+func (e *enc) B(a, b int64) {
+	e.buf = append(e.buf, wopB)
+	e.buf = appendVarint(e.buf, a)
+	e.buf = appendVarint(e.buf, b)
+}
+
+// C emits an opcode the decoder never dispatches.
+//
+//popt:codec w enc
+func (e *enc) C() {
+	e.buf = append(e.buf, wopC) // want `opcode wopC of stream "w" is encoded by C but never dispatched in decoder replay`
+}
+
+// E exercises the tracked opcode variable (one function emitting wopE or
+// the merged wopF), the correlated pending branches, and both PC nibble
+// forms; both decode arms match.
+//
+//popt:codec w enc
+func (e *enc) E(pc uint16, d int64) {
+	op := wopA
+	op += wopE - wopA
+	pending := e.pending
+	if pending != 0 {
+		op += wopF - wopE
+		e.pending = 0
+	}
+	if pc <= pcInline {
+		e.buf = append(e.buf, op|byte(pc+1)<<4)
+	} else {
+		e.buf = append(e.buf, op|pcEscape<<4)
+		e.buf = appendUvarint(e.buf, uint64(pc))
+	}
+	if pending != 0 {
+		e.buf = appendUvarint(e.buf, pending)
+	}
+	e.buf = appendVarint(e.buf, d)
+}
+
+func uvarint(data []byte, i int) (uint64, int) {
+	var x uint64
+	var shift uint
+	for i < len(data) {
+		b := data[i]
+		i++
+		x |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return x, i
+		}
+		shift += 7
+	}
+	panic("wire: truncated varint")
+}
+
+func varint(data []byte, i int) (int64, int) {
+	ux, n := uvarint(data, i)
+	return int64(ux>>1) ^ -int64(ux&1), n
+}
+
+// record is an opaque helper call the walker must ignore.
+func record(op byte, i int) int { return i }
+
+// replay is stream "w"'s decoder.
+//
+//popt:codec w dec
+func replay(data []byte) {
+	i := 0
+	for i < len(data) {
+		b := data[i]
+		i++
+		op := b & wopMask
+		switch op {
+		case wopA:
+			_, i = uvarint(data, i)
+		case wopB: // want `asymmetric codec for opcode wopB of stream "w": B encodes \[varint varint\] but replay decodes \[varint\]`
+			_, i = varint(data, i)
+		case wopD: // want `opcode wopD of stream "w" is dispatched in decoder replay but never encoded`
+			_, i = uvarint(data, i)
+		case wopE, wopF:
+			if hi := b >> 4; hi == pcEscape {
+				_, i = uvarint(data, i)
+			}
+			if op == wopF {
+				_, i = uvarint(data, i)
+			}
+			if i < len(data) && data[i] < 0x80 {
+				i++
+			} else {
+				_, i = varint(data, i)
+			}
+			i = record(op, i)
+		default:
+			panic("wire: bad opcode")
+		}
+	}
+}
+
+// X is annotated for a stream with no decoder at all.
+//
+//popt:codec x enc
+func (e *enc) X() { // want `stream "x" has encoder annotations but no //popt:codec x dec function`
+	e.buf = append(e.buf, wopA)
+}

@@ -1,0 +1,81 @@
+// Package wireop seeds opexhaust violations: dispatch switches that skip
+// a declared opcode, swallow unknown opcodes silently, or have no default
+// at all — plus loud decoders (panic helper, error return) that must stay
+// clean.
+package wireop
+
+import "errors"
+
+const (
+	xopA byte = iota + 1
+	xopB
+	xopC
+
+	xopMask byte = 0x0f
+)
+
+var errBad = errors.New("wireop: bad opcode")
+
+// bad panics out of line, like the real codec's badOp.
+func bad(op byte) {
+	panic("wireop: bad opcode")
+}
+
+// decodeMissing has a loud default but no arm for xopC.
+//
+//popt:codec x dec
+func decodeMissing(data []byte) {
+	i := 0
+	for i < len(data) {
+		op := data[i] & xopMask
+		i++
+		switch op { // want `opcode dispatch in decodeMissing does not handle xopC`
+		case xopA:
+		case xopB:
+		default:
+			bad(op)
+		}
+	}
+}
+
+// decodeSilent covers every opcode but swallows unknown ones.
+//
+//popt:codec x dec
+func decodeSilent(data []byte) error {
+	for _, b := range data {
+		op := b & xopMask
+		switch op {
+		case xopA, xopB, xopC:
+		default: // want `default clause of the opcode dispatch in decodeSilent is silent`
+			return nil
+		}
+	}
+	return nil
+}
+
+// decodeNoDefault covers every opcode but falls through unknown ones.
+//
+//popt:codec x dec
+func decodeNoDefault(data []byte) {
+	for _, b := range data {
+		op := b & xopMask
+		switch op { // want `opcode dispatch in decodeNoDefault has no default clause`
+		case xopA, xopB, xopC:
+		}
+	}
+}
+
+// decodeErr is fully covered with an error-returning default: clean.
+//
+//popt:codec x dec
+func decodeErr(data []byte) error {
+	for _, b := range data {
+		op := b & xopMask
+		switch op {
+		case xopA, xopB, xopC:
+		default:
+			return errBad
+		}
+	}
+	return nil
+}

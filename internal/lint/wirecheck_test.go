@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestCodecPair(t *testing.T) {
+	RunTest(t, "testdata", CodecPair, "wire")
+}
+
+func TestOpExhaust(t *testing.T) {
+	RunTest(t, "testdata", OpExhaust, "wireop")
+}
+
+func TestFormatLock(t *testing.T) {
+	RunTest(t, "testdata", NewFormatLock(filepath.Join("testdata", "wirelock.baseline"), false), "wirelock")
+}
+
+// TestWireBaselineRoundTrip pins the baseline file format: write, read
+// back, and re-write must be lossless and byte-identical, or -update
+// would churn the checked-in file.
+func TestWireBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wire.baseline")
+	entries := map[string]*baselineEntry{
+		"llc":   {version: 2, body: []string{"header magic:pl", "header version:u8", "op 1 lopAccessR pc varint"}},
+		"trace": {version: 1, body: []string{"header magic:pt", "op 3 opSetVertex varint", "op 4 opStartIteration (empty)"}},
+	}
+	if err := writeWireBaseline(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, haveFile, err := readWireBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !haveFile {
+		t.Fatal("readWireBaseline did not see the file it was given")
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Fatalf("baseline did not round trip:\n got %+v\nwant %+v", got, entries)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeWireBaseline(path, got); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("re-written baseline is not byte-identical:\n%s\nvs\n%s", first, second)
+	}
+}
+
+// TestWireBaselineMissingFile pins the missing-file contract: not an
+// error, so check mode reports per stream and update mode creates it.
+func TestWireBaselineMissingFile(t *testing.T) {
+	entries, haveFile, err := readWireBaseline(filepath.Join(t.TempDir(), "absent.baseline"))
+	if err != nil {
+		t.Fatalf("missing baseline must not be an error, got %v", err)
+	}
+	if haveFile || len(entries) != 0 {
+		t.Fatalf("missing baseline reported haveFile=%v entries=%v", haveFile, entries)
+	}
+}

@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"popt/internal/cache"
+)
+
+// This file is the untrusted-input half of the wire formats: the hot
+// replay paths in record.go / llc.go assume a stream produced by this
+// process's encoders and panic on corruption (badOp / badEOF /
+// badTraceHeader), which is the right contract for in-memory round trips
+// but not for bytes read back off disk. DecodeTrace and DecodeLLCTrace
+// validate a byte stream completely — header magic, format version, every
+// opcode, every varint boundary — and return errors instead of
+// panicking. A successfully decoded trace is structurally sound by
+// construction, so its Replay may keep using the panic-based hot loops
+// unchanged. This is the robustness prerequisite for the roadmap's
+// persistent trace corpus.
+
+// Bytes returns the encoded stream, header included — the exact byte
+// form DecodeTrace accepts. The slice aliases the trace's storage
+// (Trace is //popt:frozen): callers persist or copy it, never mutate.
+func (t *Trace) Bytes() []byte { return t.data }
+
+// Bytes returns the encoded LLC stream, header included — the exact byte
+// form DecodeLLCTrace accepts. The slice aliases the trace's storage.
+func (t *LLCTrace) Bytes() []byte { return t.data }
+
+// DecodeTrace validates data as an encoded full pre-L1 stream and
+// returns it as a replayable Trace. The whole stream is scanned: a bad
+// magic, an unsupported format version, an unknown opcode, or a varint
+// running off the end of the buffer is an error, never a panic. Stream
+// statistics are recomputed during the scan, so the result reports
+// Stats/BytesPerEvent exactly like the encoder that produced the bytes.
+// The returned Trace takes ownership of data; the caller must not mutate
+// it afterwards.
+func DecodeTrace(data []byte) (*Trace, error) {
+	if err := checkHeaderErr(data, magicTrace1, TraceFormatVersion, traceHeaderLen, "trace"); err != nil {
+		return nil, err
+	}
+	stats, err := scanTrace(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{data: data, stats: stats}, nil
+}
+
+// DecodeLLCTrace validates data as an encoded LLC-visible stream and
+// returns it as a replayable LLCTrace, reading the setup-invariant totals
+// (instructions, L1/L2 statistics) back out of the header.
+func DecodeLLCTrace(data []byte) (*LLCTrace, error) {
+	if err := checkHeaderErr(data, magicLLC1, LLCFormatVersion, llcHeaderLen, "llc"); err != nil {
+		return nil, err
+	}
+	at := 3
+	take := func() uint64 {
+		x := binary.LittleEndian.Uint64(data[at : at+8])
+		at += 8
+		return x
+	}
+	instructions := take()
+	var levels [2]cache.Stats
+	for i := range levels {
+		levels[i] = cache.Stats{
+			Accesses:   take(),
+			Hits:       take(),
+			Misses:     take(),
+			Evictions:  take(),
+			Writebacks: take(),
+		}
+	}
+	stats, err := scanLLC(data)
+	if err != nil {
+		return nil, err
+	}
+	return &LLCTrace{
+		data:         data,
+		instructions: instructions,
+		l1:           levels[0],
+		l2:           levels[1],
+		stats:        stats,
+	}, nil
+}
+
+// checkHeaderErr is the error-returning counterpart of
+// checkTraceHeader/checkLLCHeader.
+func checkHeaderErr(data []byte, m1, version byte, hlen int, stream string) error {
+	if len(data) < hlen {
+		return fmt.Errorf("trace: %s stream truncated: %d byte(s), header needs %d", stream, len(data), hlen)
+	}
+	if data[0] != magic0 || data[1] != m1 {
+		return fmt.Errorf("trace: not a %s stream: magic % x, want %c%c", stream, data[:2], magic0, m1)
+	}
+	if data[2] != version {
+		return fmt.Errorf("trace: %s stream is format version %d, this decoder reads version %d; re-record the trace or migrate the corpus", stream, data[2], version)
+	}
+	return nil
+}
+
+// scanTrace walks every event of a full-stream body, validating structure
+// and recomputing the statistics the encoder would have collected. The
+// opcode dispatch mirrors Trace.Replay arm for arm; the codecpair
+// analyzer holds all three decoders (this scan, Replay, replaySim) to the
+// encoder's opcode payloads.
+//
+//popt:codec trace dec
+func scanTrace(data []byte) (Stats, error) {
+	var stats Stats
+	i := traceHeaderLen
+	for i < len(data) {
+		b := data[i]
+		at := i
+		i++
+		op := b & opMask
+		var err error
+		switch op {
+		case opAccessR, opAccessW, opAccessRT, opAccessWT:
+			if hi := b >> 4; hi == pcEscape {
+				if _, i, err = uvarintChecked(data, i); err != nil {
+					return Stats{}, err
+				}
+			}
+			if op >= opAccessRT {
+				var ticks uint64
+				if ticks, i, err = uvarintChecked(data, i); err != nil {
+					return Stats{}, err
+				}
+				stats.TickEvents++
+				stats.TickedInstrs += ticks
+			}
+			if _, i, err = varintChecked(data, i); err != nil {
+				return Stats{}, err
+			}
+			stats.Accesses++
+			if op == opAccessW || op == opAccessWT {
+				stats.Writes++
+			}
+		case opSetVertex:
+			if _, i, err = varintChecked(data, i); err != nil {
+				return Stats{}, err
+			}
+			stats.VertexUpdates++
+		case opStartIteration:
+			stats.Iterations++
+		case opSetTile:
+			if _, i, err = uvarintChecked(data, i); err != nil {
+				return Stats{}, err
+			}
+			stats.TileSwitches++
+		case opMute:
+			stats.MutedRegions++
+		case opUnmute:
+		case opTick:
+			var ticks uint64
+			if ticks, i, err = uvarintChecked(data, i); err != nil {
+				return Stats{}, err
+			}
+			stats.TickEvents++
+			stats.TickedInstrs += ticks
+		default:
+			return Stats{}, fmt.Errorf("trace: corrupt trace stream: opcode %d at byte %d", op, at)
+		}
+	}
+	return stats, nil
+}
+
+// scanLLC walks every event of an LLC-stream body; see scanTrace.
+//
+//popt:codec llc dec
+func scanLLC(data []byte) (LLCStats, error) {
+	var stats LLCStats
+	i := llcHeaderLen
+	for i < len(data) {
+		b := data[i]
+		at := i
+		i++
+		op := b & opMask
+		var err error
+		switch op {
+		case lopAccessR, lopAccessW:
+			if hi := b >> 4; hi == pcEscape {
+				if _, i, err = uvarintChecked(data, i); err != nil {
+					return LLCStats{}, err
+				}
+			}
+			if _, i, err = varintChecked(data, i); err != nil {
+				return LLCStats{}, err
+			}
+			stats.Accesses++
+			if op == lopAccessW {
+				stats.Writes++
+			}
+		case lopWB:
+			if _, i, err = varintChecked(data, i); err != nil {
+				return LLCStats{}, err
+			}
+			stats.Writebacks++
+		case lopSetVertex:
+			if _, i, err = varintChecked(data, i); err != nil {
+				return LLCStats{}, err
+			}
+			stats.VertexUpdates++
+		case lopStartIteration:
+			stats.Iterations++
+		case lopSetTile:
+			if _, i, err = uvarintChecked(data, i); err != nil {
+				return LLCStats{}, err
+			}
+			stats.TileSwitches++
+		default:
+			return LLCStats{}, fmt.Errorf("trace: corrupt llc stream: opcode %d at byte %d", op, at)
+		}
+	}
+	return stats, nil
+}
+
+// uvarintChecked decodes a LEB128 varint at data[i:], returning an error
+// (instead of uvarint's panic) when the varint runs off the buffer.
+func uvarintChecked(data []byte, i int) (uint64, int, error) {
+	var x uint64
+	var shift uint
+	for i < len(data) {
+		b := data[i]
+		i++
+		x |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return x, i, nil
+		}
+		shift += 7
+	}
+	return 0, i, fmt.Errorf("trace: corrupt stream: truncated varint at byte %d", i)
+}
+
+// varintChecked decodes a zigzag varint with error reporting.
+func varintChecked(data []byte, i int) (int64, int, error) {
+	ux, n, err := uvarintChecked(data, i)
+	return int64(ux>>1) ^ -int64(ux&1), n, err
+}

@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"popt/internal/cache"
+	"popt/internal/graph"
+	"popt/internal/mem"
+)
+
+// tinyConfig is a minimal hierarchy for decode/replay parity tests; the
+// shape is irrelevant, only that replay runs a real LLC datapath.
+func tinyConfig() cache.Config {
+	return cache.Config{
+		L1Size: 1 << 10, L1Ways: 2,
+		L2Size: 2 << 10, L2Ways: 2,
+		LLCSize: 4 << 10, LLCWays: 4,
+		LLCPolicy: func() cache.Policy { return cache.NewLRU() },
+	}
+}
+
+// encodeRandomStream builds a pseudo-random full stream exercising every
+// opcode, inline and escaped PCs, and merged tick+access events.
+func encodeRandomStream(seed int64, n int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	enc := NewEncoder()
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			enc.SetVertex(graph.V(rng.Uint32()))
+		case 1:
+			enc.StartIteration()
+		case 2:
+			enc.SetTile(rng.Intn(64))
+		case 3:
+			enc.Mute()
+			enc.Unmute()
+		case 4, 5:
+			enc.Tick(uint64(rng.Intn(1000)))
+		default:
+			enc.Access(mem.Access{
+				Addr:  rng.Uint64(),
+				PC:    uint16(rng.Intn(1 << 16)),
+				Write: rng.Intn(2) == 0,
+			})
+		}
+	}
+	return enc.Trace()
+}
+
+// TestDecodeTraceRoundTrip pins the validating decoder against the
+// encoder: decoding a real encoded stream must succeed, reproduce the
+// encoder's statistics exactly, and replay the identical event sequence.
+func TestDecodeTraceRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		tr := encodeRandomStream(seed, 500)
+		dec, err := DecodeTrace(tr.Bytes())
+		if err != nil {
+			t.Fatalf("seed %d: DecodeTrace on a real stream: %v", seed, err)
+		}
+		if dec.Stats() != tr.Stats() {
+			t.Fatalf("seed %d: recomputed stats %+v != encoder stats %+v", seed, dec.Stats(), tr.Stats())
+		}
+		a, b := &recordSink{}, &recordSink{}
+		tr.Replay(a)
+		dec.Replay(b)
+		if !reflect.DeepEqual(a.evs, b.evs) {
+			t.Fatalf("seed %d: decoded trace replays differently", seed)
+		}
+	}
+}
+
+// TestDecodeTraceRejectsCorruptInput drives the error paths that the
+// panic-based hot replay deliberately does not have: every corruption
+// must come back as an error naming the problem.
+func TestDecodeTraceRejectsCorruptInput(t *testing.T) {
+	header := []byte{magic0, magicTrace1, TraceFormatVersion}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "truncated"},
+		{"short header", []byte{magic0}, "truncated"},
+		{"bad magic", []byte{'x', 'y', TraceFormatVersion}, "not a trace stream"},
+		{"future version", []byte{magic0, magicTrace1, TraceFormatVersion + 1}, "format version"},
+		{"unknown opcode", append(append([]byte{}, header...), 0x0b), "opcode 11"},
+		{"zero opcode", append(append([]byte{}, header...), 0x00), "opcode 0"},
+		{"missing payload", append(append([]byte{}, header...), opSetTile), "truncated varint"},
+		{"unterminated varint", append(append([]byte{}, header...), opSetTile, 0x80, 0x80), "truncated varint"},
+		{"truncated access delta", append(append([]byte{}, header...), opAccessR|2<<4), "truncated varint"},
+		{"truncated escaped pc", append(append([]byte{}, header...), opAccessR|pcEscape<<4), "truncated varint"},
+	}
+	for _, tc := range cases {
+		tr, err := DecodeTrace(tc.data)
+		if err == nil {
+			t.Errorf("%s: DecodeTrace accepted corrupt input (stats %+v)", tc.name, tr.Stats())
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDecodeLLCTraceRoundTrip checks the LLC decoder reads the totals
+// back out of the header and that a decoded stream replays exactly like
+// the original.
+func TestDecodeLLCTraceRoundTrip(t *testing.T) {
+	enc := NewLLCEncoder()
+	enc.LLCAccess(mem.Access{Addr: 1 << 20, PC: 3})
+	enc.LLCAccess(mem.Access{Addr: 1<<20 + 64, PC: 3, Write: true})
+	enc.LLCAccess(mem.Access{Addr: 9999, PC: 200}) // escaped PC
+	enc.LLCWriteback(1 << 14)
+	enc.SetVertex(17)
+	enc.StartIteration()
+	enc.SetTile(5)
+	l1 := cache.Stats{Accesses: 100, Hits: 90, Misses: 10, Evictions: 4, Writebacks: 2}
+	l2 := cache.Stats{Accesses: 10, Hits: 5, Misses: 5, Evictions: 1, Writebacks: 1}
+	tr := enc.Trace(4242, l1, l2)
+
+	dec, err := DecodeLLCTrace(tr.Bytes())
+	if err != nil {
+		t.Fatalf("DecodeLLCTrace on a real stream: %v", err)
+	}
+	if dec.instructions != 4242 || dec.l1 != l1 || dec.l2 != l2 {
+		t.Fatalf("header totals did not round trip: instructions=%d l1=%+v l2=%+v", dec.instructions, dec.l1, dec.l2)
+	}
+	if dec.Stats() != tr.Stats() {
+		t.Fatalf("recomputed stats %+v != encoder stats %+v", dec.Stats(), tr.Stats())
+	}
+
+	simA := NewSim(cache.NewHierarchy(tinyConfig()), nil)
+	simB := NewSim(cache.NewHierarchy(tinyConfig()), nil)
+	tr.Replay(simA)
+	dec.Replay(simB)
+	if simA.Instructions != simB.Instructions ||
+		simA.H.LLC.Stats != simB.H.LLC.Stats ||
+		simA.H.DRAMReads != simB.H.DRAMReads || simA.H.DRAMWrites != simB.H.DRAMWrites {
+		t.Fatal("decoded LLC trace replays differently from the original")
+	}
+}
+
+// TestDecodeLLCTraceRejectsCorruptInput mirrors the full-stream corrupt
+// cases for the LLC form, including its larger fixed-width header.
+func TestDecodeLLCTraceRejectsCorruptInput(t *testing.T) {
+	valid := NewLLCEncoder().Trace(1, cache.Stats{}, cache.Stats{}).Bytes()
+	header := append([]byte{}, valid...) // a bare, valid header
+	badVersion := append([]byte{}, header...)
+	badVersion[2]++
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "truncated"},
+		{"header only magic", []byte{magic0, magicLLC1, LLCFormatVersion}, "truncated"},
+		{"bad magic", append([]byte{'q', 'q'}, header[2:]...), "not a llc stream"},
+		{"future version", badVersion, "format version"},
+		{"unknown opcode", append(append([]byte{}, header...), 0x07), "opcode 7"},
+		{"missing payload", append(append([]byte{}, header...), lopWB), "truncated varint"},
+		{"truncated escaped pc", append(append([]byte{}, header...), lopAccessW|pcEscape<<4), "truncated varint"},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeLLCTrace(tc.data); err == nil {
+			t.Errorf("%s: DecodeLLCTrace accepted corrupt input", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestFormatVersionsRideTheHeaders pins the registry-to-wire link: the
+// byte each encoder writes at the version offset is the stream's
+// FormatVersions entry, and a mismatched version fails loudly — as an
+// error through the validating decoder and as a panic on the hot replay
+// path — rather than misdecoding.
+func TestFormatVersionsRideTheHeaders(t *testing.T) {
+	full := encodeRandomStream(1, 50).Bytes()
+	if got := full[2]; got != FormatVersions["trace"] {
+		t.Fatalf("trace header carries version %d, FormatVersions says %d", got, FormatVersions["trace"])
+	}
+	llc := NewLLCEncoder().Trace(0, cache.Stats{}, cache.Stats{}).Bytes()
+	if got := llc[2]; got != FormatVersions["llc"] {
+		t.Fatalf("llc header carries version %d, FormatVersions says %d", got, FormatVersions["llc"])
+	}
+
+	mutated := append([]byte{}, full...)
+	mutated[2]++
+	if _, err := DecodeTrace(mutated); err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Fatalf("DecodeTrace on a version-bumped stream: %v, want format-version error", err)
+	}
+
+	// The hot path must refuse too: replaying under the wrong version
+	// would silently misdecode every delta that follows.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Replay decoded a stream with a mismatched format version")
+		}
+		if !strings.Contains(r.(string), "header") {
+			t.Fatalf("Replay panic %q does not mention the header", r)
+		}
+	}()
+	bad := &Trace{data: mutated}
+	bad.Replay(&recordSink{})
+}
+
+// TestHeaderLayoutMatchesDeclaration pins the declarative HeaderFields
+// layout (what formatlock fingerprints) against the real header sizes
+// the encoders reserve: a field added to one side without the other is a
+// test failure here and a fingerprint drift there.
+func TestHeaderLayoutMatchesDeclaration(t *testing.T) {
+	width := func(fields []string) int {
+		total := 0
+		for _, f := range fields {
+			name, kind, ok := strings.Cut(f, ":")
+			if !ok {
+				t.Fatalf("header field %q is not name:kind", f)
+			}
+			switch {
+			case name == "magic":
+				total += len(kind)
+			case kind == "u8":
+				total++
+			case kind == "u64":
+				total += 8
+			default:
+				t.Fatalf("header field %q has unknown kind", f)
+			}
+		}
+		return total
+	}
+	if got := width(HeaderFields["trace"]); got != traceHeaderLen {
+		t.Errorf("declared trace header is %d bytes, encoder reserves %d", got, traceHeaderLen)
+	}
+	if got := width(HeaderFields["llc"]); got != llcHeaderLen {
+		t.Errorf("declared llc header is %d bytes, encoder reserves %d", got, llcHeaderLen)
+	}
+	for _, stream := range []string{"trace", "llc"} {
+		fields := HeaderFields[stream]
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "magic:p") || fields[1] != "version:u8" {
+			t.Errorf("%s header must open with the magic and version fields, got %v", stream, fields)
+		}
+		if _, ok := FormatVersions[stream]; !ok {
+			t.Errorf("stream %q has header fields but no FormatVersions entry", stream)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import "fmt"
+
+// Wire-format discipline (DESIGN.md §10). Every encoded stream begins
+// with a fixed-width header — a two-byte magic naming the stream and a
+// one-byte format version — so that bytes which outlive the process (the
+// roadmap's persistent trace corpus) can be rejected instead of
+// misdecoded when the layout evolves. The version constants below are the
+// single source of truth: the encoders write them into the header, the
+// replay paths and the validating decoders check them, and the poptlint
+// wirecheck family (codecpair / formatlock / opexhaust) pins the layout
+// they version — any change to an opcode's payload op sequence or a
+// header field fails `poptlint -wirecheck` until the stream's entry here
+// is bumped and the checked-in fingerprint baseline is regenerated with
+// `poptlint -wirecheck -update`.
+
+// Format versions, one per wire stream. Bump a stream's constant whenever
+// its encoded layout changes (opcodes, payload op order, header fields);
+// the formatlock analyzer refuses fingerprint drift that is not
+// accompanied by a bump.
+const (
+	// TraceFormatVersion versions the full pre-L1 stream (record.go).
+	TraceFormatVersion byte = 1
+	// LLCFormatVersion versions the LLC-visible stream (llc.go).
+	LLCFormatVersion byte = 1
+)
+
+// FormatVersions is the stream-name -> current-version registry the
+// wirecheck analyzers cross-check against the `//popt:codec <stream>`
+// annotations. The keys are the stream names used in those annotations.
+var FormatVersions = map[string]byte{
+	"trace": TraceFormatVersion,
+	"llc":   LLCFormatVersion,
+}
+
+// HeaderFields declares each stream's fixed-width header layout in wire
+// order. The formatlock analyzer folds these lines into the stream
+// fingerprint (so header changes need version bumps like opcode changes
+// do), and TestHeaderLayoutMatchesDeclaration pins the declared widths
+// against the real header sizes and offsets used by the encoders.
+var HeaderFields = map[string][]string{
+	"trace": {"magic:pt", "version:u8"},
+	"llc": {
+		"magic:pl", "version:u8", "instructions:u64",
+		"l1.accesses:u64", "l1.hits:u64", "l1.misses:u64", "l1.evictions:u64", "l1.writebacks:u64",
+		"l2.accesses:u64", "l2.hits:u64", "l2.misses:u64", "l2.evictions:u64", "l2.writebacks:u64",
+	},
+}
+
+// Stream magics: 'p' plus one stream letter.
+const (
+	magic0      byte = 'p'
+	magicTrace1 byte = 't'
+	magicLLC1   byte = 'l'
+)
+
+// traceHeaderLen is the full-stream header size: magic (2) + version (1).
+const traceHeaderLen = 3
+
+// llcHeaderLen is the LLC-stream header size: magic (2) + version (1) +
+// instructions (8) + two cache.Stats blocks of five u64 counters each.
+// The totals are fixed-width (not varints) so the encoder can reserve the
+// space up front and fill it at finalize time without copying the event
+// buffer.
+const llcHeaderLen = 3 + 8 + 2*5*8
+
+// badTraceHeader panics on a full-stream header mismatch. Out of line so
+// the replay hot loops stay escape-free, like badOp.
+//
+//go:noinline
+func badTraceHeader(m0, m1, v byte) {
+	panic(fmt.Sprintf("trace: bad stream header % x (want magic %c%c version %d); re-record the trace or decode it with DecodeTrace",
+		[]byte{m0, m1, v}, magic0, magicTrace1, TraceFormatVersion))
+}
+
+// badLLCHeader panics on an LLC-stream header mismatch.
+//
+//go:noinline
+func badLLCHeader(m0, m1, v byte) {
+	panic(fmt.Sprintf("trace: bad LLC stream header % x (want magic %c%c version %d); re-record the trace or decode it with DecodeLLCTrace",
+		[]byte{m0, m1, v}, magic0, magicLLC1, LLCFormatVersion))
+}

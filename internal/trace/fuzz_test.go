@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"testing"
+
+	"popt/internal/cache"
+	"popt/internal/mem"
+)
+
+// The fuzz targets below hold the validating decoders to their contract:
+// on arbitrary bytes they either return an error or return a trace whose
+// replay — the panic-based hot loop — runs to completion. Seeds are real
+// encoded streams plus hand-built corruptions near the interesting
+// boundaries (bare header, unknown opcode, dangling varint), so mutation
+// starts from well-formed structure instead of noise.
+
+func FuzzDecodeTrace(f *testing.F) {
+	enc := NewEncoder()
+	enc.Tick(700)
+	enc.Access(mem.Access{Addr: 1 << 30, PC: 2})                    // inline PC, merged tick
+	enc.Access(mem.Access{Addr: 1<<30 + 64, PC: 300, Write: true})  // escaped PC
+	enc.SetVertex(41)
+	enc.StartIteration()
+	enc.SetTile(7)
+	enc.Mute()
+	enc.Tick(3)
+	enc.Unmute()
+	enc.Access(mem.Access{Addr: 12, PC: 0})
+	f.Add(enc.Trace().Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{magic0, magicTrace1, TraceFormatVersion})
+	f.Add([]byte{magic0, magicTrace1, TraceFormatVersion, 0x0b})
+	f.Add([]byte{magic0, magicTrace1, TraceFormatVersion, opSetTile, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTrace(data)
+		if err != nil {
+			return
+		}
+		// A stream the decoder accepted must replay without tripping the
+		// hot path's corruption panics.
+		tr.Replay(&recordSink{})
+	})
+}
+
+func FuzzDecodeLLCTrace(f *testing.F) {
+	enc := NewLLCEncoder()
+	enc.LLCAccess(mem.Access{Addr: 1 << 22, PC: 1})
+	enc.LLCAccess(mem.Access{Addr: 1<<22 + 128, PC: 4000, Write: true}) // escaped PC
+	enc.LLCWriteback(1 << 16)
+	enc.SetVertex(9)
+	enc.StartIteration()
+	enc.SetTile(2)
+	l1 := cache.Stats{Accesses: 7, Hits: 5, Misses: 2, Evictions: 1, Writebacks: 1}
+	valid := enc.Trace(321, l1, cache.Stats{}).Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:llcHeaderLen])
+	f.Add(append(append([]byte{}, valid[:llcHeaderLen]...), 0x07))
+	f.Add(append(append([]byte{}, valid[:llcHeaderLen]...), lopWB, 0xff))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeLLCTrace(data)
+		if err != nil {
+			return
+		}
+		sim := NewSim(cache.NewHierarchy(tinyConfig()), nil)
+		tr.Replay(sim)
+	})
+}

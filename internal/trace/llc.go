@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"encoding/binary"
+
 	"popt/internal/cache"
 	"popt/internal/graph"
 	"popt/internal/mem"
@@ -67,14 +69,20 @@ type LLCEncoder struct {
 	stats  LLCStats
 }
 
-// NewLLCEncoder returns an empty LLC-stream encoder.
+// NewLLCEncoder returns an empty LLC-stream encoder. The fixed-width
+// header (magic, version, and the setup-invariant totals — see
+// HeaderFields in format.go) is reserved up front and filled at finalize
+// time by Trace, so the event buffer never needs a copy.
 func NewLLCEncoder() *LLCEncoder {
-	return &LLCEncoder{buf: make([]byte, 0, 64 << 10)}
+	e := &LLCEncoder{buf: make([]byte, llcHeaderLen, 64 << 10)}
+	e.buf[0], e.buf[1], e.buf[2] = magic0, magicLLC1, LLCFormatVersion
+	return e
 }
 
 // LLCAccess implements cache.LLCTap.
 //
 //popt:hot
+//popt:codec llc enc
 func (e *LLCEncoder) LLCAccess(acc mem.Access) {
 	op := lopAccessR
 	if acc.Write {
@@ -96,6 +104,7 @@ func (e *LLCEncoder) LLCAccess(acc mem.Access) {
 // LLCWriteback implements cache.LLCTap.
 //
 //popt:hot
+//popt:codec llc enc
 func (e *LLCEncoder) LLCWriteback(lineAddr uint64) {
 	e.stats.Writebacks++
 	e.buf = append(e.buf, lopWB)
@@ -106,6 +115,7 @@ func (e *LLCEncoder) LLCWriteback(lineAddr uint64) {
 // SetVertex implements Sink.
 //
 //popt:hot
+//popt:codec llc enc
 func (e *LLCEncoder) SetVertex(v graph.V) {
 	e.stats.VertexUpdates++
 	e.buf = append(e.buf, lopSetVertex)
@@ -114,12 +124,16 @@ func (e *LLCEncoder) SetVertex(v graph.V) {
 }
 
 // StartIteration implements Sink.
+//
+//popt:codec llc enc
 func (e *LLCEncoder) StartIteration() {
 	e.stats.Iterations++
 	e.buf = append(e.buf, lopStartIteration)
 }
 
 // SetTile implements Sink.
+//
+//popt:codec llc enc
 func (e *LLCEncoder) SetTile(t int) {
 	e.stats.TileSwitches++
 	e.buf = append(e.buf, lopSetTile)
@@ -129,9 +143,30 @@ func (e *LLCEncoder) SetTile(t int) {
 // Trace finalizes the encoder. instructions is the recording run's
 // retired-instruction total and l1, l2 its upper-level statistics; all
 // three are invariant across LLC policy setups, so replays install them
-// directly. The encoder must not be used after Trace is called.
+// directly. They are also written into the reserved header slots so the
+// encoded bytes are self-contained for the on-disk corpus (DecodeLLCTrace
+// reads them back). The encoder must not be used after Trace is called.
 func (e *LLCEncoder) Trace(instructions uint64, l1, l2 cache.Stats) *LLCTrace {
+	putLLCHeader(e.buf, instructions, l1, l2)
 	return &LLCTrace{data: e.buf, instructions: instructions, l1: l1, l2: l2, stats: e.stats}
+}
+
+// putLLCHeader fills the setup-invariant totals into the reserved header
+// slots, in HeaderFields order.
+func putLLCHeader(buf []byte, instructions uint64, l1, l2 cache.Stats) {
+	at := 3
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[at:at+8], x)
+		at += 8
+	}
+	put(instructions)
+	for _, s := range [2]cache.Stats{l1, l2} {
+		put(s.Accesses)
+		put(s.Hits)
+		put(s.Misses)
+		put(s.Evictions)
+		put(s.Writebacks)
+	}
 }
 
 // LLCTrace is an immutable encoded LLC-visible stream plus the
@@ -166,9 +201,12 @@ func (t *LLCTrace) BytesPerEvent() float64 {
 // live run byte-for-byte on every counter — the replay-equivalence
 // golden in internal/bench pins this across the policy zoo. The demand
 // and writeback handling below mirrors cache.Hierarchy.Access's LLC
-// branches exactly.
+// branches exactly. The stream header is checked once up front: a magic
+// or format-version mismatch fails loudly (badLLCHeader) instead of
+// misdecoding bytes laid out under another version.
 //
 //popt:hot
+//popt:codec llc dec
 func (t *LLCTrace) Replay(sim *Sim) {
 	h := sim.H
 	llc := h.LLC
@@ -176,7 +214,7 @@ func (t *LLCTrace) Replay(sim *Sim) {
 	var lastWB uint64
 	var lastV graph.V
 	data := t.data
-	i := 0
+	i := checkLLCHeader(data)
 	for i < len(data) {
 		b := data[i]
 		i++
@@ -232,4 +270,19 @@ func (t *LLCTrace) Replay(sim *Sim) {
 	sim.Instructions += t.instructions
 	h.L1.Stats.Add(t.l1)
 	h.L2.Stats.Add(t.l2)
+}
+
+// checkLLCHeader validates the LLC-stream header and returns the index of
+// the first event byte; see checkTraceHeader.
+//
+//popt:hot
+func checkLLCHeader(data []byte) int {
+	if len(data) < llcHeaderLen || data[0] != magic0 || data[1] != magicLLC1 || data[2] != LLCFormatVersion {
+		var m0, m1, v byte
+		if len(data) >= 3 {
+			m0, m1, v = data[0], data[1], data[2]
+		}
+		badLLCHeader(m0, m1, v)
+	}
+	return llcHeaderLen
 }

@@ -100,9 +100,13 @@ var _ = [1 - pcSlots&(pcSlots-1)]struct{}{}
 
 // NewEncoder returns an empty encoder. The buffer starts at 64 KiB —
 // around two bytes per event, even short kernel runs emit tens of
-// thousands of events, so this skips the noisy small-growth copies.
+// thousands of events, so this skips the noisy small-growth copies. The
+// stream header (magic + format version, see format.go) is written up
+// front; every event the sink methods encode lands after it.
 func NewEncoder() *Encoder {
-	return &Encoder{buf: make([]byte, 0, 64<<10)}
+	e := &Encoder{buf: make([]byte, 0, 64<<10)}
+	e.buf = append(e.buf, magic0, magicTrace1, TraceFormatVersion)
+	return e
 }
 
 // appendUvarint appends x in LEB128 form.
@@ -124,6 +128,8 @@ func appendVarint(buf []byte, x int64) []byte {
 }
 
 // flushTicks emits the pending coalesced Tick event, if any.
+//
+//popt:codec trace enc
 func (e *Encoder) flushTicks() {
 	if e.pending == 0 {
 		return
@@ -137,6 +143,7 @@ func (e *Encoder) flushTicks() {
 // Access implements Sink.
 //
 //popt:hot
+//popt:codec trace enc
 func (e *Encoder) Access(acc mem.Access) {
 	op := opAccessR
 	if acc.Write {
@@ -167,6 +174,7 @@ func (e *Encoder) Access(acc mem.Access) {
 // SetVertex implements Sink.
 //
 //popt:hot
+//popt:codec trace enc
 func (e *Encoder) SetVertex(v graph.V) {
 	if e.pending != 0 {
 		e.flushTicks()
@@ -178,6 +186,8 @@ func (e *Encoder) SetVertex(v graph.V) {
 }
 
 // StartIteration implements Sink.
+//
+//popt:codec trace enc
 func (e *Encoder) StartIteration() {
 	e.flushTicks()
 	e.stats.Iterations++
@@ -185,6 +195,8 @@ func (e *Encoder) StartIteration() {
 }
 
 // SetTile implements Sink.
+//
+//popt:codec trace enc
 func (e *Encoder) SetTile(t int) {
 	e.flushTicks()
 	e.stats.TileSwitches++
@@ -193,6 +205,8 @@ func (e *Encoder) SetTile(t int) {
 }
 
 // Mute implements Sink.
+//
+//popt:codec trace enc
 func (e *Encoder) Mute() {
 	e.flushTicks()
 	e.stats.MutedRegions++
@@ -200,6 +214,8 @@ func (e *Encoder) Mute() {
 }
 
 // Unmute implements Sink.
+//
+//popt:codec trace enc
 func (e *Encoder) Unmute() {
 	e.flushTicks()
 	e.buf = append(e.buf, opUnmute)
@@ -249,9 +265,12 @@ func (t *Trace) BytesPerEvent() float64 {
 // Replay decodes the stream and delivers every event to s in recorded
 // order. Replaying into a live Sim is byte-identical to the live run that
 // recorded the trace (the replay-equivalence golden pins this for the
-// whole policy zoo).
+// whole policy zoo). The stream header is checked once up front: a magic
+// or format-version mismatch fails loudly (badTraceHeader) instead of
+// misdecoding bytes laid out under another version.
 //
 //popt:hot
+//popt:codec trace dec
 func (t *Trace) Replay(s Sink) {
 	if sim, ok := s.(*Sim); ok && sim.H != nil {
 		// Production replays always land in a live Sim; the specialized
@@ -263,7 +282,7 @@ func (t *Trace) Replay(s Sink) {
 	var last [pcSlots]uint64
 	var lastV graph.V
 	data := t.data
-	i := 0
+	i := checkTraceHeader(data)
 	for i < len(data) {
 		b := data[i]
 		i++
@@ -328,6 +347,7 @@ func (t *Trace) Replay(s Sink) {
 // exercises the generic one against raw event lists.
 //
 //popt:hot
+//popt:codec trace dec
 func (t *Trace) replaySim(s *Sim) {
 	var last [pcSlots]uint64
 	var lastV graph.V
@@ -335,7 +355,7 @@ func (t *Trace) replaySim(s *Sim) {
 	filter := s.Filter
 	instr := s.Instructions
 	data := t.data
-	i := 0
+	i := checkTraceHeader(data)
 	for i < len(data) {
 		b := data[i]
 		i++
@@ -392,6 +412,23 @@ func (t *Trace) replaySim(s *Sim) {
 		}
 	}
 	s.Instructions = instr
+}
+
+// checkTraceHeader validates the full-stream header and returns the index
+// of the first event byte. Mismatches panic out of line; replays of
+// untrusted bytes go through DecodeTrace, which rejects them with an
+// error before this hot path ever runs.
+//
+//popt:hot
+func checkTraceHeader(data []byte) int {
+	if len(data) < traceHeaderLen || data[0] != magic0 || data[1] != magicTrace1 || data[2] != TraceFormatVersion {
+		var m0, m1, v byte
+		if len(data) >= traceHeaderLen {
+			m0, m1, v = data[0], data[1], data[2]
+		}
+		badTraceHeader(m0, m1, v)
+	}
+	return traceHeaderLen
 }
 
 // uvarint decodes a LEB128 varint at data[i:], returning the value and the
