@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"popt/internal/graph"
 )
@@ -27,7 +28,14 @@ func main() {
 	stats := flag.String("stats", "", "print statistics of a serialized graph and exit")
 	edges := flag.String("edges", "", "build from a 'src dst' edge-list file (requires -n)")
 	mtx := flag.String("mtx", "", "build from a MatrixMarket coordinate file")
+	progress := flag.Bool("progress", false, "report per-graph build timing on stderr (suite builds)")
 	flag.Parse()
+
+	if *progress {
+		graph.SuiteProgress = func(g *graph.Graph, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "built %v (%s)\n", g, elapsed.Round(time.Millisecond))
+		}
+	}
 
 	switch {
 	case *stats != "":

@@ -13,6 +13,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 	"time"
 
 	"popt/internal/bench"
@@ -71,8 +72,24 @@ func main() {
 	cfg.Workers = *workers
 	cfg.NoReplay = *noreplay
 	if *progress {
+		// One mutex serializes all three heartbeat sources (cell
+		// completions arrive serialized, but phase events come straight
+		// from sweep workers) so stderr lines never interleave.
+		var mu sync.Mutex
 		cfg.Progress = func(ev bench.CellEvent) {
+			mu.Lock()
+			defer mu.Unlock()
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)\n", ev.Done, ev.Total, ev.Key, ev.Elapsed.Round(time.Microsecond))
+		}
+		cfg.PhaseProgress = func(ev bench.PhaseEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(os.Stderr, "  %s %s (%s)\n", ev.Phase, ev.Key, ev.Elapsed.Round(time.Microsecond))
+		}
+		graph.SuiteProgress = func(g *graph.Graph, elapsed time.Duration) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(os.Stderr, "  built %v (%s)\n", g, elapsed.Round(time.Millisecond))
 		}
 	}
 	switch *scale {

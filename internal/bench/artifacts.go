@@ -191,14 +191,19 @@ func (c Config) runStream(g *graph.Graph, name string, build func(g *graph.Graph
 	var recorded *Result
 	e.once.Do(func() {
 		w := build(g)
+		start := c.phaseStart()
 		res, tr := RecordLLC(c, w, s)
+		c.phaseDone(g.Name+"/"+name, "record", start)
 		e.w, e.tr = w, tr
 		recorded = &res
 	})
 	if recorded != nil {
 		return *recorded
 	}
-	return ReplayLLC(c, e.w, e.tr, s)
+	start := c.phaseStart()
+	res := ReplayLLC(c, e.w, e.tr, s)
+	c.phaseDone(g.Name+"/"+name+"/"+s.Name, "replay", start)
+	return res
 }
 
 // runSetups simulates several setups of one cell against a single kernel

@@ -37,6 +37,13 @@ type Config struct {
 	// Progress, when non-nil, receives one event per completed sweep
 	// cell (poptbench -progress wires it to stderr).
 	Progress func(CellEvent)
+	// PhaseProgress, when non-nil, receives one event per completed
+	// sub-phase of a cell — stream recording and stream replay — so
+	// large-scale runs, where a single record can take minutes, show a
+	// heartbeat between cell completions. Events are host-side
+	// observability only; reports never depend on them. Callbacks may
+	// arrive concurrently from sweep workers.
+	PhaseProgress func(PhaseEvent)
 	// NoReplay disables reference-stream record/replay sharing: every
 	// cell re-executes its kernel live, as before the trace pipeline
 	// existed. Replay is byte-identical to live execution (golden-tested),

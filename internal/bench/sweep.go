@@ -44,6 +44,36 @@ type CellEvent struct {
 	Elapsed time.Duration
 }
 
+// PhaseEvent reports one completed cell sub-phase to a Config.PhaseProgress
+// callback: the heartbeat between cell completions on large-scale runs.
+type PhaseEvent struct {
+	// Key identifies the work, e.g. "KRON-23/PR" (graph/stream) for a
+	// record, plus the setup name for a replay.
+	Key string
+	// Phase names the sub-phase: "record" (live kernel execution plus
+	// stream encode) or "replay" (trace-driven LLC-only simulation).
+	Phase string
+	// Elapsed is the phase's wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// phaseStart returns the phase timestamp, or the zero time when no
+// PhaseProgress callback is installed (the common case pays no clock
+// read).
+func (c Config) phaseStart() time.Time {
+	if c.PhaseProgress == nil {
+		return time.Time{}
+	}
+	return time.Now() //lint:allow determinism (host-side progress timing, not simulated state)
+}
+
+// phaseDone emits one PhaseEvent if a callback is installed.
+func (c Config) phaseDone(key, phase string, start time.Time) {
+	if c.PhaseProgress != nil {
+		c.PhaseProgress(PhaseEvent{Key: key, Phase: phase, Elapsed: time.Since(start)}) //lint:allow determinism (host-side progress timing)
+	}
+}
+
 // Sweep executes independent cells on a bounded worker pool.
 type Sweep struct {
 	// Workers bounds the pool; <= 0 means GOMAXPROCS.

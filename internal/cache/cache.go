@@ -283,40 +283,7 @@ func (l *Level) Access(acc mem.Access) bool {
 //popt:hot
 func (l *Level) Fill(acc mem.Access) (evicted Line, wasEvicted bool) {
 	la := acc.LineAddr()
-	set := l.SetIndex(la)
-	base := set * l.ways
-	var way int
-	if free := ^l.valid[set] & l.demand; free != 0 {
-		way = bits.TrailingZeros64(free)
-	} else {
-		ws := l.lines[base : base+l.ways]
-		if l.plru != nil {
-			way = l.plru.Victim(set, ws, acc)
-		} else {
-			way = l.pol.Victim(set, ws, acc)
-		}
-		if way < l.resvd || way >= l.ways {
-			l.badVictim(way)
-		}
-		evicted, wasEvicted = ws[way], true
-		l.Stats.Evictions++
-		l.pol.OnEvict(set, way)
-	}
-	l.lines[base+way] = Line{Valid: true, Dirty: acc.Write, Addr: la, PC: acc.PC}
-	l.tags[base+way] = la
-	bit := uint64(1) << uint(way)
-	l.valid[set] |= bit
-	if acc.Write {
-		l.dirty[set] |= bit
-	} else {
-		l.dirty[set] &^= bit
-	}
-	if l.plru != nil {
-		l.plru.OnFill(set, way, acc)
-	} else {
-		l.pol.OnFill(set, way, acc)
-	}
-	return evicted, wasEvicted
+	return l.fillAt(l.SetIndex(la), la, acc)
 }
 
 // badVictim panics with the invalid-victim message. The panic (and its fmt

@@ -121,53 +121,13 @@ type Edge struct {
 // out sorted. n is the number of vertices; every endpoint must be < n.
 func FromEdges(name string, n int, edges []Edge) *Graph {
 	out := adjFromEdges(n, edges, false)
-	in := adjFromEdges(n, edges, true)
+	// The in-adjacency is derived from the built CSR rather than from the
+	// raw edges: a stable scatter of the sorted-unique pairs needs no
+	// per-vertex sort, dedup, or compaction (see adjTranspose), roughly
+	// halving construction cost versus two full builds. The bytes are
+	// identical to adjFromEdges(n, edges, true).
+	in := adjTranspose(n, out)
 	return &Graph{Out: out, In: in, Name: name}
-}
-
-// adjFromEdges builds one direction via counting sort, then sorts and
-// deduplicates each neighbor list in place.
-func adjFromEdges(n int, edges []Edge, transpose bool) Adj {
-	counts := make([]uint64, n+1)
-	for _, e := range edges {
-		k := e.Src
-		if transpose {
-			k = e.Dst
-		}
-		counts[k+1]++
-	}
-	for i := 0; i < n; i++ {
-		counts[i+1] += counts[i]
-	}
-	oa := counts // counts is now the offsets array
-	na := make([]V, len(edges))
-	cursor := make([]uint64, n)
-	for _, e := range edges {
-		k, v := e.Src, e.Dst
-		if transpose {
-			k, v = e.Dst, e.Src
-		}
-		na[oa[k]+cursor[k]] = v
-		cursor[k]++
-	}
-	// Sort and dedup each list, compacting NA.
-	w := uint64(0)
-	newOA := make([]uint64, n+1)
-	for v := 0; v < n; v++ {
-		lo, hi := oa[v], oa[v+1]
-		seg := na[lo:hi]
-		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
-		newOA[v] = w
-		for i, u := range seg {
-			if i > 0 && u == seg[i-1] {
-				continue
-			}
-			na[w] = u
-			w++
-		}
-	}
-	newOA[n] = w
-	return Adj{OA: newOA, NA: na[:w:w]}
 }
 
 // Transpose returns a graph with Out and In swapped (edges reversed). The

@@ -199,20 +199,29 @@ func (t *LLCTrace) BytesPerEvent() float64 {
 // Replay drives sim's LLC with the recorded stream and installs the
 // setup-invariant totals (instructions, L1/L2 statistics), reproducing a
 // live run byte-for-byte on every counter — the replay-equivalence
-// golden in internal/bench pins this across the policy zoo. The demand
-// and writeback handling below mirrors cache.Hierarchy.Access's LLC
-// branches exactly. The stream header is checked once up front: a magic
-// or format-version mismatch fails loudly (badLLCHeader) instead of
-// misdecoding bytes laid out under another version.
+// golden in internal/bench pins this across the policy zoo. Decoded
+// demand accesses and writebacks are collected into a fixed-size probe
+// batch and issued through cache.Level.AccessBatch, which preserves
+// event order and per-event semantics exactly (see its contract) while
+// amortizing the set-mapping branch and statistics traffic; the batch
+// mirrors cache.Hierarchy.Access's LLC branches probe for probe. Hook
+// events force a flush only when the sim actually has a hook — for a
+// hookless sim (the whole baseline policy zoo) they are decode-local
+// no-ops and the batch runs long. The stream header is checked once up
+// front: a magic or format-version mismatch fails loudly (badLLCHeader)
+// instead of misdecoding bytes laid out under another version.
 //
 //popt:hot
 //popt:codec llc dec
 func (t *LLCTrace) Replay(sim *Sim) {
 	h := sim.H
 	llc := h.LLC
+	hooked := sim.Hook != nil
 	var last [pcSlots]uint64
 	var lastWB uint64
 	var lastV graph.V
+	var batch [cache.BatchMax]cache.Probe
+	n := 0
 	data := t.data
 	i := checkLLCHeader(data)
 	for i < len(data) {
@@ -238,38 +247,72 @@ func (t *LLCTrace) Replay(sim *Sim) {
 			slot := uint16(pc) & pcSlotMask
 			addr := last[slot] + uint64(d)
 			last[slot] = addr
-			acc := mem.Access{Addr: addr, PC: uint16(pc), Write: op == lopAccessW}
-			if !llc.Access(acc) {
-				h.DRAMReads++
-				if ev, ok := llc.Fill(acc); ok && ev.Dirty {
-					h.DRAMWrites++
-				}
+			kind := cache.ProbeRead
+			if op == lopAccessW {
+				kind = cache.ProbeWrite
 			}
+			if n == cache.BatchMax {
+				n = flushProbes(h, llc, &batch, n)
+			}
+			// The mask is a no-op (the flush above keeps n < BatchMax) that
+			// lets the compiler drop the bounds check from the event loop.
+			batch[n&(cache.BatchMax-1)] = cache.Probe{Addr: addr, PC: uint16(pc), Kind: kind}
+			n++
 		case lopWB:
-			d, n := varint(data, i)
-			i = n
+			d, nn := varint(data, i)
+			i = nn
 			lastWB += uint64(d)
-			if !llc.MarkDirty(lastWB) {
-				h.DRAMWrites++
+			if n == cache.BatchMax {
+				n = flushProbes(h, llc, &batch, n)
 			}
+			batch[n&(cache.BatchMax-1)] = cache.Probe{Addr: lastWB, Kind: cache.ProbeWB}
+			n++
 		case lopSetVertex:
-			d, n := varint(data, i)
-			i = n
+			d, nn := varint(data, i)
+			i = nn
 			lastV = graph.V(int64(lastV) + d)
-			sim.SetVertex(lastV)
+			if hooked {
+				n = flushProbes(h, llc, &batch, n)
+				sim.SetVertex(lastV)
+			}
 		case lopStartIteration:
-			sim.StartIteration()
+			if hooked {
+				n = flushProbes(h, llc, &batch, n)
+				sim.StartIteration()
+			}
 		case lopSetTile:
-			tl, n := uvarint(data, i)
-			i = n
-			sim.SetTile(int(tl))
+			tl, nn := uvarint(data, i)
+			i = nn
+			if hooked {
+				n = flushProbes(h, llc, &batch, n)
+				sim.SetTile(int(tl))
+			}
 		default:
 			badOp(op, i-1)
 		}
 	}
+	flushProbes(h, llc, &batch, n)
 	sim.Instructions += t.instructions
 	h.L1.Stats.Add(t.l1)
 	h.L2.Stats.Add(t.l2)
+}
+
+// flushProbes issues the pending probe batch against the LLC and folds
+// the resulting DRAM traffic into the hierarchy's counters, returning
+// the new (empty) batch length. A plain function taking the batch array
+// by pointer — not a closure — so the batch stays on Replay's stack;
+// noinline keeps its once-per-batch bounds check from folding back into
+// the per-event decode loop.
+//
+//go:noinline
+//popt:hot
+func flushProbes(h *cache.Hierarchy, llc *cache.Level, batch *[cache.BatchMax]cache.Probe, n int) int {
+	if n > 0 {
+		dr, dw := llc.AccessBatch(batch[:n])
+		h.DRAMReads += dr
+		h.DRAMWrites += dw
+	}
+	return 0
 }
 
 // checkLLCHeader validates the LLC-stream header and returns the index of

@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 
+	"popt/internal/cache"
 	"popt/internal/graph"
 	"popt/internal/mem"
 )
@@ -341,10 +342,16 @@ func (t *Trace) Replay(s Sink) {
 
 // replaySim is Replay specialized for a live *Sim sink with a hierarchy:
 // hierarchy accesses become direct calls and instruction accounting stays
-// local until the end. The decode logic must stay in lockstep with the
-// generic loop above; the replay-equivalence golden (internal/bench)
-// exercises this path against live runs while the encoder round-trip test
-// exercises the generic one against raw event lists.
+// local until the end. Unfiltered sims (every production replay except
+// the PHI coalescing model) batch decoded accesses into a fixed-size
+// buffer drained through cache.Hierarchy.AccessBatch; filtered sims keep
+// the one-at-a-time path because the filter must observe each access in
+// stream position. Hook events flush the pending batch only when a hook
+// is installed — they are no-ops otherwise and must not break up the
+// batch. The decode logic must stay in lockstep with the generic loop
+// above; the replay-equivalence golden (internal/bench) exercises this
+// path against live runs while the encoder round-trip test exercises the
+// generic one against raw event lists.
 //
 //popt:hot
 //popt:codec trace dec
@@ -353,7 +360,10 @@ func (t *Trace) replaySim(s *Sim) {
 	var lastV graph.V
 	h := s.H
 	filter := s.Filter
+	hooked := s.Hook != nil
 	instr := s.Instructions
+	var batch [cache.BatchMax]mem.Access
+	n := 0
 	data := t.data
 	i := checkTraceHeader(data)
 	for i < len(data) {
@@ -386,32 +396,66 @@ func (t *Trace) replaySim(s *Sim) {
 			last[slot] = addr
 			acc := mem.Access{Addr: addr, PC: uint16(pc), Write: op == opAccessW || op == opAccessWT}
 			instr++
-			if filter != nil && filter(acc) {
+			if filter != nil {
+				if !filter(acc) {
+					h.Access(acc)
+				}
 				continue
 			}
-			h.Access(acc)
+			if n == cache.BatchMax {
+				n = flushAccesses(h, &batch, n)
+			}
+			// The mask is a no-op (the flush above keeps n < BatchMax) that
+			// lets the compiler drop the bounds check from the event loop.
+			batch[n&(cache.BatchMax-1)] = acc
+			n++
 		case opSetVertex:
-			d, n := varint(data, i)
-			i = n
+			d, nn := varint(data, i)
+			i = nn
 			lastV = graph.V(int64(lastV) + d)
-			s.SetVertex(lastV)
+			if hooked {
+				n = flushAccesses(h, &batch, n)
+				s.SetVertex(lastV)
+			}
 		case opStartIteration:
-			s.StartIteration()
+			if hooked {
+				n = flushAccesses(h, &batch, n)
+				s.StartIteration()
+			}
 		case opSetTile:
-			tl, n := uvarint(data, i)
-			i = n
-			s.SetTile(int(tl))
+			tl, nn := uvarint(data, i)
+			i = nn
+			if hooked {
+				n = flushAccesses(h, &batch, n)
+				s.SetTile(int(tl))
+			}
 		case opMute, opUnmute:
 			// The live sink has nothing to do at mute boundaries.
 		case opTick:
-			ticks, n := uvarint(data, i)
-			i = n
+			ticks, nn := uvarint(data, i)
+			i = nn
 			instr += ticks
 		default:
 			badOp(op, i-1)
 		}
 	}
+	flushAccesses(h, &batch, n)
 	s.Instructions = instr
+}
+
+// flushAccesses drains the pending access batch through the hierarchy's
+// bulk path, returning the new (empty) batch length. A plain function
+// taking the batch array by pointer — not a closure — so the batch stays
+// on replaySim's stack; noinline keeps its once-per-batch bounds check
+// from folding back into the per-event decode loop.
+//
+//go:noinline
+//popt:hot
+func flushAccesses(h *cache.Hierarchy, batch *[cache.BatchMax]mem.Access, n int) int {
+	if n > 0 {
+		h.AccessBatch(batch[:n])
+	}
+	return 0
 }
 
 // checkTraceHeader validates the full-stream header and returns the index
