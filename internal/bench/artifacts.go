@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"fmt"
 	"sync"
 
 	"popt/internal/core"
+	"popt/internal/corpus"
 	"popt/internal/graph"
 	"popt/internal/kernels"
 	"popt/internal/mem"
@@ -83,13 +85,16 @@ type streamKey struct {
 // instantiate policies. The LLC form is valid for any cell whose L1/L2
 // shape matches the recorder's — within one experiment only fig16 varies
 // the cache at all, and it varies just the LLC, which the stream does not
-// depend on.
+// depend on. With a corpus configured the stream lives on disk as a
+// container entry (ent); otherwise it stays in memory (tr). Exactly one
+// of the two is set after once fires.
 //
 //popt:frozen
 type streamEntry struct {
 	once sync.Once
 	w    *kernels.Workload //popt:guardedby once
 	tr   *trace.LLCTrace   //popt:guardedby once
+	ent  *corpus.Entry     //popt:guardedby once
 }
 
 func newArtifacts() *artifacts {
@@ -170,16 +175,91 @@ func (c Config) buildPOPT(refAdj *graph.Adj, numVertices int, kind core.Kind, bi
 	return core.NewPOPT(streams...)
 }
 
+// StreamKey maps a named reference stream of g onto its corpus identity:
+// the workload is the graph name plus its adjacency checksum (names alone
+// are not unique — fig11's Uniform(4096, 4·4096) and the suite's
+// URAND-12 share a name but not an edge list), the stream name is the
+// schedule, and the config's scale/seed pin the generated input family
+// and the L1/L2 shape. Exported so popttrace record pre-warms a corpus
+// under exactly the keys sweeps look up.
+func (c Config) StreamKey(g *graph.Graph, name string) corpus.Key {
+	return corpus.Key{
+		Workload: fmt.Sprintf("%s@%016x", g.Name, g.Checksum()),
+		Schedule: name,
+		Scale:    c.Scale.String(),
+		Seed:     c.Seed,
+	}
+}
+
+// streamHandle is a recorded stream in whichever form it exists: a corpus
+// entry (out-of-core container replay) or an in-memory LLC trace.
+type streamHandle struct {
+	w   *kernels.Workload
+	tr  *trace.LLCTrace
+	ent *corpus.Entry
+}
+
+// recordOrOpen produces the stream for (g, name), preferring the corpus:
+// a warm corpus entry is opened and setup s replayed from it (no record
+// phase at all — the acceptance contract for cross-process reuse); a cold
+// corpus records through the chunked container encoder and publishes; no
+// corpus records in memory as before. The returned handle replays the
+// same stream into any later setup via replayStream. build may be called
+// more than once (each call must be deterministic): a failed corpus
+// publication consumes its workload mid-record, so the in-memory fallback
+// records into a fresh one.
+func (c Config) recordOrOpen(g *graph.Graph, name string, build func() *kernels.Workload, s Setup) (Result, streamHandle) {
+	if c.Corpus != nil {
+		key := c.StreamKey(g, name)
+		if ent := c.Corpus.Lookup(key); ent != nil {
+			w := build()
+			start := c.phaseStart()
+			res := ReplayLLCEntry(c, w, ent, s)
+			c.phaseDone(g.Name+"/"+name+"/"+s.Name, "replay", start)
+			return res, streamHandle{w: w, ent: ent}
+		}
+		w := build()
+		start := c.phaseStart()
+		res, ent, err := RecordLLCToCorpus(c, w, s, key)
+		if err == nil {
+			c.phaseDone(g.Name+"/"+name, "record", start)
+			return res, streamHandle{w: w, ent: ent}
+		}
+		// Publication failed (full disk, permissions): fall through and
+		// record in memory — sweep results do not depend on the corpus,
+		// only its reuse does.
+	}
+	w := build()
+	start := c.phaseStart()
+	res, tr := RecordLLC(c, w, s)
+	c.phaseDone(g.Name+"/"+name, "record", start)
+	return res, streamHandle{w: w, tr: tr}
+}
+
+// replayStream feeds the handle's stream into setup s.
+func (c Config) replayStream(g *graph.Graph, name string, h streamHandle, s Setup) Result {
+	start := c.phaseStart()
+	var res Result
+	if h.ent != nil {
+		res = ReplayLLCEntry(c, h.w, h.ent, s)
+	} else {
+		res = ReplayLLC(c, h.w, h.tr, s)
+	}
+	c.phaseDone(g.Name+"/"+name+"/"+s.Name, "replay", start)
+	return res
+}
+
 // runStream simulates setup s against the named reference stream of g,
 // recording the LLC-visible stream once per (graph, stream) and replaying
-// it into every later setup. The first cell to arrive runs its kernel
-// live with an LLC encoder tapped onto its hierarchy (recording
-// piggybacks on real work — no extra kernel execution); all other cells
-// replay the encoded stream, skipping kernel re-execution and L1/L2
-// simulation entirely. Replay is byte-identical to live execution
-// (golden-tested), so which cell records is irrelevant and sweep reports
-// stay deterministic at every worker count. With no artifact cache (or
-// under NoReplay) every cell runs live, as before the trace pipeline.
+// it into every later setup. The first cell to arrive produces the stream
+// — from the corpus when one is configured and warm (no kernel execution
+// at all), else by running its kernel live with an LLC encoder tapped
+// onto its hierarchy (recording piggybacks on real work); all other cells
+// replay, skipping kernel re-execution and L1/L2 simulation entirely.
+// Replay is byte-identical to live execution (golden-tested), so which
+// cell records is irrelevant and sweep reports stay deterministic at
+// every worker count. With no artifact cache (or under NoReplay) every
+// cell runs live, as before the trace pipeline.
 //
 // build must construct the workload deterministically from g alone: the
 // stream name is trusted to cover kernel identity and schedule.
@@ -188,30 +268,27 @@ func (c Config) runStream(g *graph.Graph, name string, build func(g *graph.Graph
 		return RunWorkload(c, build(g), s)
 	}
 	e := c.arts.stream(streamKey{g: g, name: name})
-	var recorded *Result
+	var first *Result
 	e.once.Do(func() {
-		w := build(g)
-		start := c.phaseStart()
-		res, tr := RecordLLC(c, w, s)
-		c.phaseDone(g.Name+"/"+name, "record", start)
-		e.w, e.tr = w, tr
-		recorded = &res
+		res, h := c.recordOrOpen(g, name, func() *kernels.Workload { return build(g) }, s)
+		e.w, e.tr, e.ent = h.w, h.tr, h.ent
+		first = &res
 	})
-	if recorded != nil {
-		return *recorded
+	if first != nil {
+		return *first
 	}
-	start := c.phaseStart()
-	res := ReplayLLC(c, e.w, e.tr, s)
-	c.phaseDone(g.Name+"/"+name+"/"+s.Name, "replay", start)
-	return res
+	return c.replayStream(g, name, streamHandle{w: e.w, tr: e.tr, ent: e.ent}, s)
 }
 
-// runSetups simulates several setups of one cell against a single kernel
-// execution: the first setup runs live and records, the rest replay. Used
-// by drivers whose cells compare policies on a workload that is not shared
-// with other cells (per-cell variants, throwaway graphs). Under NoReplay
+// runSetups simulates several setups of one cell against a single stream
+// of the named (graph, stream) pair: the first setup produces the stream
+// (corpus-open, corpus-record, or in-memory record — see recordOrOpen),
+// the rest replay it. Used by drivers whose cells compare policies on a
+// workload that is not shared with other cells (per-cell variants,
+// throwaway graphs); the (g, name) identity exists so such streams still
+// land in the corpus under a stable cross-process key. Under NoReplay
 // every setup runs a fresh build(), preserving the pre-trace behavior.
-func (c Config) runSetups(build func() *kernels.Workload, setups ...Setup) []Result {
+func (c Config) runSetups(g *graph.Graph, name string, build func() *kernels.Workload, setups ...Setup) []Result {
 	out := make([]Result, len(setups))
 	if len(setups) == 0 {
 		return out
@@ -222,11 +299,10 @@ func (c Config) runSetups(build func() *kernels.Workload, setups ...Setup) []Res
 		}
 		return out
 	}
-	w := build()
-	res, tr := RecordLLC(c, w, setups[0])
+	res, h := c.recordOrOpen(g, name, build, setups[0])
 	out[0] = res
 	for i, s := range setups[1:] {
-		out[i+1] = ReplayLLC(c, w, tr, s)
+		out[i+1] = c.replayStream(g, name, h, s)
 	}
 	return out
 }

@@ -13,6 +13,7 @@ import (
 
 	"popt/internal/cache"
 	"popt/internal/core"
+	"popt/internal/corpus"
 	"popt/internal/graph"
 	"popt/internal/kernels"
 	"popt/internal/perf"
@@ -49,6 +50,15 @@ type Config struct {
 	// existed. Replay is byte-identical to live execution (golden-tested),
 	// so this exists only for A/B timing (poptbench -noreplay).
 	NoReplay bool
+	// Corpus, when non-nil, persists recorded LLC streams as chunked
+	// container files keyed by (workload, schedule, scale, seed) and
+	// replays them out of core across processes: a warm corpus skips every
+	// record phase of a sweep. Streams are keyed by the inputs that shape
+	// the recorded bytes — the scale name covers the L1/L2 shape (only
+	// fig16 varies the cache within an experiment, and it varies just the
+	// LLC geometry, which the stream does not depend on). Reports are
+	// byte-identical with or without a corpus (golden-tested).
+	Corpus *corpus.Store
 	// arts memoizes immutable build products (Rereference Matrix tables,
 	// merged transposes) across the cells of one experiment; nil means
 	// build fresh per cell. Installed by withArtifacts.
@@ -412,6 +422,46 @@ func ReplayLLC(c Config, w *kernels.Workload, tr *trace.LLCTrace, s Setup) Resul
 	b := buildCell(c, w, s)
 	sim := b.sim()
 	tr.Replay(sim)
+	return b.finish(sim)
+}
+
+// RecordLLCToCorpus is RecordLLC's persistent form: the LLC-visible
+// stream goes through a chunked container encoder straight into the
+// corpus (never materialized in memory as one buffer), and the published
+// entry replays the same stream in this or any later process. The
+// recording run's own result is returned alongside the entry.
+func RecordLLCToCorpus(c Config, w *kernels.Workload, s Setup, key corpus.Key) (Result, *corpus.Entry, error) {
+	var res Result
+	ent, err := c.Corpus.Publish(key, trace.KindLLC, func(cw *trace.ContainerWriter) error {
+		b := buildCell(c, w, s)
+		sim := b.sim()
+		enc := trace.NewChunkedLLCEncoder(cw)
+		b.h.Tap = enc
+		w.Run(kernels.NewSinkRunner(trace.NewTee(sim, enc)))
+		b.h.Tap = nil
+		res = b.finish(sim)
+		return enc.Finish(sim.Instructions, b.h.L1.Stats, b.h.L2.Stats)
+	})
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return res, ent, nil
+}
+
+// ReplayLLCEntry feeds a corpus-resident LLC stream into setup s,
+// decoding chunks out of core (resident memory stays bounded by the
+// reader's chunk window, not the stream size). Results are byte-identical
+// to ReplayLLC of the same stream: the container replay preserves the
+// probe sequence and hook-mark positions exactly.
+func ReplayLLCEntry(c Config, w *kernels.Workload, ent *corpus.Entry, s Setup) Result {
+	b := buildCell(c, w, s)
+	sim := b.sim()
+	if err := ent.Reader().ReplayLLC(sim, trace.ReplayOptions{}); err != nil {
+		// The entry was validated at open and Publish; damage appearing
+		// between open and replay is corruption mid-run, not a condition a
+		// sweep cell can recover from.
+		panic(fmt.Sprintf("bench: corpus replay of %s: %v", ent.Path, err))
+	}
 	return b.finish(sim)
 }
 

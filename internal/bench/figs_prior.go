@@ -60,7 +60,7 @@ func Fig12a(c Config) *Report {
 				out := &results[gi]
 				// The reordered graph is cell-private: the DRRIP baseline
 				// records its stream, the compared setups replay it.
-				rs := c.runSetups(func() *kernels.Workload { return kernels.NewPageRank(g) },
+				rs := c.runSetups(g, "PR", func() *kernels.Workload { return kernels.NewPageRank(g) },
 					append([]Setup{DRRIPSetup()}, setups...)...)
 				out.base, out.res = rs[0], rs[1:]
 			},
@@ -111,7 +111,7 @@ func Fig12b(c Config) *Report {
 				order := sched.BDFSOrder(g, 16)
 				// base/popt/topt share the vertex-ordered stream; BDFS runs
 				// a different schedule, hence a different stream, live.
-				rs := c.runSetups(func() *kernels.Workload { return kernels.NewPageRank(g) },
+				rs := c.runSetups(g, "PR", func() *kernels.Workload { return kernels.NewPageRank(g) },
 					DRRIPSetup(), POPTSetup(core.InterIntra, 8, true), TOPTSetup())
 				results[gi] = cellOut{
 					base: rs[0],
@@ -167,7 +167,7 @@ func Fig13(c Config) *Report {
 					}}
 					// The segmentation is cell-private; DRRIP records the
 					// tiled stream and P-OPT replays it.
-					rs := c.runSetups(func() *kernels.Workload { return kernels.NewPageRankTiled(g, seg) },
+					rs := c.runSetups(g, fmt.Sprintf("PR-tiled-%d", tiles), func() *kernels.Workload { return kernels.NewPageRankTiled(g, seg) },
 						DRRIPSetup(), poptSetup)
 					results[gi][ti] = cellOut{drrip: rs[0], popt: rs[1]}
 				},

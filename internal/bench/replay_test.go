@@ -131,8 +131,8 @@ func TestNoReplayMatchesReplay(t *testing.T) {
 	c := TinyConfig()
 	nc := c
 	nc.NoReplay = true
-	a := c.runSetups(mk, setups...)
-	b := nc.runSetups(mk, setups...)
+	a := c.runSetups(g, "PR", mk, setups...)
+	b := nc.runSetups(g, "PR", mk, setups...)
 	for i := range a {
 		if fingerprint(a[i]) != fingerprint(b[i]) {
 			t.Errorf("setup %d: replay and noreplay diverge", i)

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -470,6 +471,20 @@ const (
 	// only when explicitly requested because simulation time grows linearly.
 	ScaleLarge
 )
+
+// String names the scale; corpus keys embed it, so the names are part of
+// the on-disk contract and must stay stable.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleDefault:
+		return "default"
+	case ScaleLarge:
+		return "large"
+	}
+	return "scale" + strconv.Itoa(int(s))
+}
 
 // Suite returns the five-input suite mirroring Table III at the requested
 // scale. The order matches the paper's tables: DBP, UK, KRON, URAND, HBUBL.

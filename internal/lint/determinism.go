@@ -23,6 +23,7 @@ var SimPackages = []string{
 	"popt/internal/bench",
 	"popt/internal/trace",
 	"popt/internal/analysis",
+	"popt/internal/corpus",
 }
 
 // randSourceless are math/rand package-level functions that do NOT draw

@@ -24,6 +24,7 @@ var FrozenTypes = []string{
 	"popt/internal/graph.Adj",
 	"popt/internal/trace.Trace",
 	"popt/internal/trace.LLCTrace",
+	"popt/internal/corpus.Entry",
 }
 
 // NewShareFreeze builds the freeze analyzer over the given registry

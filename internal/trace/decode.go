@@ -100,15 +100,20 @@ func checkHeaderErr(data []byte, m1, version byte, hlen int, stream string) erro
 }
 
 // scanTrace walks every event of a full-stream body, validating structure
-// and recomputing the statistics the encoder would have collected. The
-// opcode dispatch mirrors Trace.Replay arm for arm; the codecpair
-// analyzer holds all three decoders (this scan, Replay, replaySim) to the
-// encoder's opcode payloads.
+// and recomputing the statistics the encoder would have collected.
+func scanTrace(data []byte) (Stats, error) {
+	return scanTraceFrom(data, traceHeaderLen)
+}
+
+// scanTraceFrom validates full-stream event bytes starting at i — the
+// whole body for DecodeTrace, a single headerless chunk payload for the
+// container reader. The opcode dispatch mirrors replayTraceEvents arm for
+// arm; the codecpair analyzer holds every decoder to the encoder's opcode
+// payloads.
 //
 //popt:codec trace dec
-func scanTrace(data []byte) (Stats, error) {
+func scanTraceFrom(data []byte, i int) (Stats, error) {
 	var stats Stats
-	i := traceHeaderLen
 	for i < len(data) {
 		b := data[i]
 		at := i
@@ -167,11 +172,16 @@ func scanTrace(data []byte) (Stats, error) {
 }
 
 // scanLLC walks every event of an LLC-stream body; see scanTrace.
+func scanLLC(data []byte) (LLCStats, error) {
+	return scanLLCFrom(data, llcHeaderLen)
+}
+
+// scanLLCFrom validates LLC-stream event bytes starting at i; see
+// scanTraceFrom.
 //
 //popt:codec llc dec
-func scanLLC(data []byte) (LLCStats, error) {
+func scanLLCFrom(data []byte, i int) (LLCStats, error) {
 	var stats LLCStats
-	i := llcHeaderLen
 	for i < len(data) {
 		b := data[i]
 		at := i

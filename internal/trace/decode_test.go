@@ -222,7 +222,7 @@ func TestHeaderLayoutMatchesDeclaration(t *testing.T) {
 				t.Fatalf("header field %q is not name:kind", f)
 			}
 			switch {
-			case name == "magic":
+			case name == "magic" || strings.HasSuffix(name, ".magic"):
 				total += len(kind)
 			case kind == "u8":
 				total++
@@ -240,7 +240,23 @@ func TestHeaderLayoutMatchesDeclaration(t *testing.T) {
 	if got := width(HeaderFields["llc"]); got != llcHeaderLen {
 		t.Errorf("declared llc header is %d bytes, encoder reserves %d", got, llcHeaderLen)
 	}
-	for _, stream := range []string{"trace", "llc"} {
+	// The container's fixed-width bytes split across the two file ends:
+	// fields prefixed "trailer." are the trailer, the rest the header.
+	var head, tail []string
+	for _, f := range HeaderFields["container"] {
+		if strings.HasPrefix(f, "trailer.") {
+			tail = append(tail, f)
+		} else {
+			head = append(head, f)
+		}
+	}
+	if got := width(head); got != containerHeaderLen {
+		t.Errorf("declared container header is %d bytes, writer emits %d", got, containerHeaderLen)
+	}
+	if got := width(tail); got != containerTrailerLen {
+		t.Errorf("declared container trailer is %d bytes, writer emits %d", got, containerTrailerLen)
+	}
+	for _, stream := range []string{"trace", "llc", "container"} {
 		fields := HeaderFields[stream]
 		if len(fields) < 2 || !strings.HasPrefix(fields[0], "magic:p") || fields[1] != "version:u8" {
 			t.Errorf("%s header must open with the magic and version fields, got %v", stream, fields)

@@ -24,14 +24,21 @@ const (
 	TraceFormatVersion byte = 1
 	// LLCFormatVersion versions the LLC-visible stream (llc.go).
 	LLCFormatVersion byte = 1
+	// ContainerFormatVersion versions the chunked on-disk container
+	// (container.go): the frame markers, the chunk/stats/index/meta frame
+	// payload layouts, and the fixed header/trailer. The event bytes
+	// inside chunk payloads are versioned separately by the inner
+	// stream's own entry, which rides in the container header.
+	ContainerFormatVersion byte = 1
 )
 
 // FormatVersions is the stream-name -> current-version registry the
 // wirecheck analyzers cross-check against the `//popt:codec <stream>`
 // annotations. The keys are the stream names used in those annotations.
 var FormatVersions = map[string]byte{
-	"trace": TraceFormatVersion,
-	"llc":   LLCFormatVersion,
+	"trace":     TraceFormatVersion,
+	"llc":       LLCFormatVersion,
+	"container": ContainerFormatVersion,
 }
 
 // HeaderFields declares each stream's fixed-width header layout in wire
@@ -46,13 +53,36 @@ var HeaderFields = map[string][]string{
 		"l1.accesses:u64", "l1.hits:u64", "l1.misses:u64", "l1.evictions:u64", "l1.writebacks:u64",
 		"l2.accesses:u64", "l2.hits:u64", "l2.misses:u64", "l2.evictions:u64", "l2.writebacks:u64",
 	},
+	// The container's fixed-width bytes are split across the two ends of
+	// the file: a 5-byte header up front (kind is 't' or 'l', naming the
+	// inner event stream; inner.version is that stream's FormatVersions
+	// entry at record time) and a 20-byte trailer at EOF that locates the
+	// footer frames (stats/index/meta) so readers can seek without
+	// scanning. Everything between is length-prefixed frames, fingerprinted
+	// through the //popt:codec container annotations.
+	"container": {
+		"magic:pc", "version:u8", "kind:u8", "inner.version:u8",
+		"trailer.footer_off:u64", "trailer.footer_len:u64",
+		"trailer.magic:pc", "trailer.version:u8", "trailer.kind:u8",
+	},
 }
 
 // Stream magics: 'p' plus one stream letter.
 const (
-	magic0      byte = 'p'
-	magicTrace1 byte = 't'
-	magicLLC1   byte = 'l'
+	magic0          byte = 'p'
+	magicTrace1     byte = 't'
+	magicLLC1       byte = 'l'
+	magicContainer1 byte = 'c'
+)
+
+// Container kinds: the inner event stream a container holds. The kind
+// byte reuses the inner stream's magic letter so `popttrace info` output
+// and hexdumps read the same way.
+const (
+	// KindTrace marks a container of full pre-L1 stream chunks.
+	KindTrace byte = magicTrace1
+	// KindLLC marks a container of LLC-visible stream chunks.
+	KindLLC byte = magicLLC1
 )
 
 // traceHeaderLen is the full-stream header size: magic (2) + version (1).
@@ -64,6 +94,15 @@ const traceHeaderLen = 3
 // space up front and fill it at finalize time without copying the event
 // buffer.
 const llcHeaderLen = 3 + 8 + 2*5*8
+
+// containerHeaderLen is the container header size: magic (2) + container
+// version (1) + kind (1) + inner stream version (1).
+const containerHeaderLen = 5
+
+// containerTrailerLen is the fixed trailer at EOF: footer offset (8) +
+// footer length (8) + magic echo (2) + version (1) + kind (1). Readers
+// seek here first, so it is fixed-width and last.
+const containerTrailerLen = 20
 
 // badTraceHeader panics on a full-stream header mismatch. Out of line so
 // the replay hot loops stay escape-free, like badOp.

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"testing"
 
 	"popt/internal/cache"
@@ -64,5 +65,72 @@ func FuzzDecodeLLCTrace(f *testing.F) {
 		}
 		sim := NewSim(cache.NewHierarchy(tinyConfig()), nil)
 		tr.Replay(sim)
+	})
+}
+
+// FuzzReadContainer holds the container reader to the decoder contract on
+// arbitrary bytes: OpenContainer, Verify, and the replay paths must
+// return errors on damage — truncated footers, corrupt CRCs, index/frame
+// disagreements — and must never panic. Seeds are real containers of both
+// kinds (small chunks, so mutation hits frame machinery, not just event
+// bytes) plus targeted corruptions of the fixed trailer.
+func FuzzReadContainer(f *testing.F) {
+	meta := Meta{Workload: "fuzz", Schedule: "pull", Scale: "tiny", Seed: 1}
+
+	enc := NewEncoder()
+	enc.Tick(9)
+	enc.Access(mem.Access{Addr: 1 << 28, PC: 2})
+	enc.Access(mem.Access{Addr: 1<<28 + 64, PC: 500, Write: true})
+	enc.SetVertex(13)
+	enc.StartIteration()
+	enc.Mute()
+	enc.Unmute()
+	enc.SetTile(3)
+	var tbuf bytes.Buffer
+	if err := WriteTraceContainer(enc.Trace(), &tbuf, meta, 16); err != nil {
+		f.Fatal(err)
+	}
+
+	lenc := NewLLCEncoder()
+	lenc.LLCAccess(mem.Access{Addr: 1 << 22, PC: 1})
+	lenc.LLCAccess(mem.Access{Addr: 1<<22 + 128, PC: 4000, Write: true})
+	lenc.LLCWriteback(1 << 16)
+	lenc.SetVertex(9)
+	lenc.StartIteration()
+	lenc.SetTile(2)
+	var lbuf bytes.Buffer
+	if err := WriteLLCContainer(lenc.Trace(77, cache.Stats{Accesses: 3}, cache.Stats{}), &lbuf, meta, 16); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(tbuf.Bytes())
+	f.Add(lbuf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{magic0, magicContainer1, ContainerFormatVersion, KindTrace, TraceFormatVersion})
+	f.Add(tbuf.Bytes()[:tbuf.Len()-containerTrailerLen+3]) // truncated trailer
+	flip := func(src []byte, at int) []byte {
+		m := append([]byte{}, src...)
+		m[at] ^= 0xff
+		return m
+	}
+	f.Add(flip(lbuf.Bytes(), lbuf.Len()-containerTrailerLen)) // footer offset
+	f.Add(flip(lbuf.Bytes(), containerHeaderLen+2))           // chunk frame header
+	f.Add(flip(tbuf.Bytes(), tbuf.Len()/2))                   // mid-stream
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := OpenContainer(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		// Whatever Open accepted must verify and replay without panicking;
+		// errors are fine (chunk damage is caught lazily).
+		_ = r.Verify()
+		switch r.Kind() {
+		case KindTrace:
+			_ = r.ReplayTrace(&recordSink{}, ReplayOptions{})
+		case KindLLC:
+			sim := NewSim(cache.NewHierarchy(tinyConfig()), nil)
+			_ = r.ReplayLLC(sim, ReplayOptions{Workers: 2, Window: 2})
+		}
 	})
 }

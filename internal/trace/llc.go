@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/binary"
+	"math"
 
 	"popt/internal/cache"
 	"popt/internal/graph"
@@ -67,6 +68,12 @@ type LLCEncoder struct {
 	lastWB uint64          // previous writeback line address
 	lastV  graph.V
 	stats  LLCStats
+
+	// Chunked mode (NewChunkedLLCEncoder); see Encoder's chunk fields.
+	cw              *ContainerWriter
+	chunkBytes      int
+	chunkStartEvnts uint64
+	chunkFirstPC    uint64
 }
 
 // NewLLCEncoder returns an empty LLC-stream encoder. The fixed-width
@@ -74,9 +81,71 @@ type LLCEncoder struct {
 // HeaderFields in format.go) is reserved up front and filled at finalize
 // time by Trace, so the event buffer never needs a copy.
 func NewLLCEncoder() *LLCEncoder {
-	e := &LLCEncoder{buf: make([]byte, llcHeaderLen, 64 << 10)}
+	// chunkBytes is a sentinel no buffer reaches, so the hot per-event
+	// chunk check is one compare with no chunked/in-memory branch.
+	e := &LLCEncoder{buf: make([]byte, llcHeaderLen, 64 << 10), chunkBytes: math.MaxInt}
 	e.buf[0], e.buf[1], e.buf[2] = magic0, magicLLC1, LLCFormatVersion
 	return e
+}
+
+// NewChunkedLLCEncoder returns an LLC-stream encoder that streams chunk
+// frames through cw: resident encode memory stays O(one chunk) no matter
+// how long the recording runs, which is what lets paper-scale streams be
+// recorded straight to the corpus. Finalize with Finish (Trace is invalid
+// in this mode); the owner then calls cw.Finish to seal the container.
+func NewChunkedLLCEncoder(cw *ContainerWriter) *LLCEncoder {
+	return &LLCEncoder{
+		buf:        make([]byte, 0, cw.chunkBytes+16),
+		cw:         cw,
+		chunkBytes: cw.chunkBytes,
+	}
+}
+
+// maybeChunk closes the current chunk once the payload passes the byte
+// target; called at the end of every encoded event. The call pushes
+// LLCWriteback and SetVertex past the inlining budget, which the hotpath
+// baseline accepts deliberately: every hot caller reaches them through an
+// interface (Hierarchy.Tap during recording, Sink via Tee), where
+// inlining never applied; the only static caller is the cold rechunk
+// path.
+//
+//popt:hot
+func (e *LLCEncoder) maybeChunk() {
+	// In-memory encoders carry a sentinel threshold, so no nil check of
+	// e.cw is needed here — one compare per event.
+	if len(e.buf) >= e.chunkBytes {
+		e.flushChunk()
+	}
+}
+
+// flushChunk emits the pending chunk frame and resets the per-chunk delta
+// state; see Encoder.flushChunk.
+//
+//go:noinline
+func (e *LLCEncoder) flushChunk() {
+	if len(e.buf) == 0 {
+		return
+	}
+	events := e.stats.Events() - e.chunkStartEvnts
+	e.cw.writeChunk(events, e.chunkFirstPC, e.buf)
+	e.buf = e.buf[:0]
+	e.chunkStartEvnts = e.stats.Events()
+	e.chunkFirstPC = 0
+	e.last = [pcSlots]uint64{}
+	e.lastWB = 0
+	e.lastV = 0
+}
+
+// Finish flushes the trailing chunk and installs the stream totals —
+// including the setup-invariant instruction and L1/L2 counters that the
+// in-memory form carries in its header — on the container writer.
+func (e *LLCEncoder) Finish(instructions uint64, l1, l2 cache.Stats) error {
+	if e.cw == nil {
+		panic("trace: LLCEncoder.Finish without a container writer; use Trace")
+	}
+	e.flushChunk()
+	e.cw.setStats(encodeLLCStats(e.stats, instructions, l1, l2, e.cw.streamCRC))
+	return e.cw.Err()
 }
 
 // LLCAccess implements cache.LLCTap.
@@ -99,6 +168,10 @@ func (e *LLCEncoder) LLCAccess(acc mem.Access) {
 	slot := acc.PC & pcSlotMask
 	e.buf = appendVarint(e.buf, int64(acc.Addr-e.last[slot]))
 	e.last[slot] = acc.Addr
+	if e.cw != nil && e.chunkFirstPC == 0 {
+		e.chunkFirstPC = uint64(acc.PC) + 1
+	}
+	e.maybeChunk()
 }
 
 // LLCWriteback implements cache.LLCTap.
@@ -110,6 +183,7 @@ func (e *LLCEncoder) LLCWriteback(lineAddr uint64) {
 	e.buf = append(e.buf, lopWB)
 	e.buf = appendVarint(e.buf, int64(lineAddr-e.lastWB))
 	e.lastWB = lineAddr
+	e.maybeChunk()
 }
 
 // SetVertex implements Sink.
@@ -121,6 +195,7 @@ func (e *LLCEncoder) SetVertex(v graph.V) {
 	e.buf = append(e.buf, lopSetVertex)
 	e.buf = appendVarint(e.buf, int64(v)-int64(e.lastV))
 	e.lastV = v
+	e.maybeChunk()
 }
 
 // StartIteration implements Sink.
@@ -129,6 +204,7 @@ func (e *LLCEncoder) SetVertex(v graph.V) {
 func (e *LLCEncoder) StartIteration() {
 	e.stats.Iterations++
 	e.buf = append(e.buf, lopStartIteration)
+	e.maybeChunk()
 }
 
 // SetTile implements Sink.
@@ -138,6 +214,7 @@ func (e *LLCEncoder) SetTile(t int) {
 	e.stats.TileSwitches++
 	e.buf = append(e.buf, lopSetTile)
 	e.buf = appendUvarint(e.buf, uint64(t))
+	e.maybeChunk()
 }
 
 // Trace finalizes the encoder. instructions is the recording run's
@@ -147,6 +224,9 @@ func (e *LLCEncoder) SetTile(t int) {
 // encoded bytes are self-contained for the on-disk corpus (DecodeLLCTrace
 // reads them back). The encoder must not be used after Trace is called.
 func (e *LLCEncoder) Trace(instructions uint64, l1, l2 cache.Stats) *LLCTrace {
+	if e.cw != nil {
+		panic("trace: chunked LLCEncoder has no in-memory form; finalize with Finish")
+	}
 	putLLCHeader(e.buf, instructions, l1, l2)
 	return &LLCTrace{data: e.buf, instructions: instructions, l1: l1, l2: l2, stats: e.stats}
 }
@@ -295,6 +375,59 @@ func (t *LLCTrace) Replay(sim *Sim) {
 	sim.Instructions += t.instructions
 	h.L1.Stats.Add(t.l1)
 	h.L2.Stats.Add(t.l2)
+}
+
+// reencodeLLCEvents decodes the event bytes of an in-memory LLC stream
+// starting at i and re-encodes each event through enc — the chunking path
+// of WriteLLCContainer and `popttrace rechunk`. The decode arms mirror
+// Replay opcode for opcode (codecpair holds them in lockstep); because
+// the chunked encoder resets its delta state at chunk boundaries, the
+// re-encoded bytes differ from the source stream's even though the event
+// sequence is identical.
+//
+//popt:codec llc dec
+func reencodeLLCEvents(data []byte, i int, enc *LLCEncoder) {
+	var last [pcSlots]uint64
+	var lastWB uint64
+	var lastV graph.V
+	for i < len(data) {
+		b := data[i]
+		i++
+		op := b & opMask
+		switch op {
+		case lopAccessR, lopAccessW:
+			var pc uint64
+			if hi := b >> 4; hi != pcEscape {
+				pc = uint64(hi - 1)
+			} else {
+				pc, i = uvarint(data, i)
+			}
+			d, nn := varint(data, i)
+			i = nn
+			slot := uint16(pc) & pcSlotMask
+			addr := last[slot] + uint64(d)
+			last[slot] = addr
+			enc.LLCAccess(mem.Access{Addr: addr, PC: uint16(pc), Write: op == lopAccessW})
+		case lopWB:
+			d, nn := varint(data, i)
+			i = nn
+			lastWB += uint64(d)
+			enc.LLCWriteback(lastWB)
+		case lopSetVertex:
+			d, nn := varint(data, i)
+			i = nn
+			lastV = graph.V(int64(lastV) + d)
+			enc.SetVertex(lastV)
+		case lopStartIteration:
+			enc.StartIteration()
+		case lopSetTile:
+			tl, nn := uvarint(data, i)
+			i = nn
+			enc.SetTile(int(tl))
+		default:
+			badOp(op, i-1)
+		}
+	}
 }
 
 // flushProbes issues the pending probe batch against the LLC and folds

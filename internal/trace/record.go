@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 
 	"popt/internal/cache"
 	"popt/internal/graph"
@@ -80,6 +81,15 @@ type Encoder struct {
 	lastV   graph.V
 	pending uint64 // coalesced ticks not yet flushed
 	stats   Stats
+
+	// Chunked mode (NewChunkedEncoder): buf holds one headerless chunk
+	// payload that flushes to cw at the first event boundary past the
+	// byte target, with delta state reset so every chunk decodes
+	// independently. Nil cw (the in-memory form) skips all of it.
+	cw              *ContainerWriter
+	chunkBytes      int
+	chunkStartEvnts uint64 // stats.Events() snapshot at chunk start
+	chunkFirstPC    uint64 // first access PC in the chunk + 1; 0 = none
 }
 
 // pcSlots is the size of the per-PC delta context. PCs above the slot
@@ -105,9 +115,67 @@ var _ = [1 - pcSlots&(pcSlots-1)]struct{}{}
 // stream header (magic + format version, see format.go) is written up
 // front; every event the sink methods encode lands after it.
 func NewEncoder() *Encoder {
-	e := &Encoder{buf: make([]byte, 0, 64<<10)}
+	// chunkBytes is a sentinel no buffer reaches, so the hot per-event
+	// chunk check is one compare with no chunked/in-memory branch.
+	e := &Encoder{buf: make([]byte, 0, 64<<10), chunkBytes: math.MaxInt}
 	e.buf = append(e.buf, magic0, magicTrace1, TraceFormatVersion)
 	return e
+}
+
+// NewChunkedEncoder returns an encoder that streams chunk frames through
+// cw instead of accumulating one in-memory byte slice: resident encode
+// memory stays O(one chunk) no matter the stream length. Finalize with
+// Finish (Trace is invalid in this mode); the owner then calls cw.Finish
+// to seal the container.
+func NewChunkedEncoder(cw *ContainerWriter) *Encoder {
+	return &Encoder{
+		buf:        make([]byte, 0, cw.chunkBytes+16),
+		cw:         cw,
+		chunkBytes: cw.chunkBytes,
+	}
+}
+
+// maybeChunk closes the current chunk once the payload passes the byte
+// target. Called at the end of every fully-encoded event so chunk
+// boundaries always fall between events.
+//
+//popt:hot
+func (e *Encoder) maybeChunk() {
+	// In-memory encoders carry a sentinel threshold; see LLCEncoder.
+	if len(e.buf) >= e.chunkBytes {
+		e.flushChunk()
+	}
+}
+
+// flushChunk emits the pending chunk frame and resets the delta state the
+// next chunk must not depend on. Out of line: it runs once per ~64K
+// events and its frame writes must not burden the per-event encoders.
+//
+//go:noinline
+func (e *Encoder) flushChunk() {
+	if len(e.buf) == 0 {
+		return
+	}
+	events := e.stats.Events() - e.chunkStartEvnts
+	e.cw.writeChunk(events, e.chunkFirstPC, e.buf)
+	e.buf = e.buf[:0]
+	e.chunkStartEvnts = e.stats.Events()
+	e.chunkFirstPC = 0
+	e.last = [pcSlots]uint64{}
+	e.lastV = 0
+}
+
+// Finish flushes the trailing ticks and chunk and installs the stream
+// totals on the container writer. Chunked encoders must end with Finish;
+// the encoder must not be used afterwards.
+func (e *Encoder) Finish() error {
+	if e.cw == nil {
+		panic("trace: Encoder.Finish without a container writer; use Trace")
+	}
+	e.flushTicks()
+	e.flushChunk()
+	e.cw.setStats(encodeTraceStats(e.stats, e.cw.streamCRC))
+	return e.cw.Err()
 }
 
 // appendUvarint appends x in LEB128 form.
@@ -170,6 +238,10 @@ func (e *Encoder) Access(acc mem.Access) {
 	slot := acc.PC & pcSlotMask
 	e.buf = appendVarint(e.buf, int64(acc.Addr - e.last[slot]))
 	e.last[slot] = acc.Addr
+	if e.cw != nil && e.chunkFirstPC == 0 {
+		e.chunkFirstPC = uint64(acc.PC) + 1
+	}
+	e.maybeChunk()
 }
 
 // SetVertex implements Sink.
@@ -184,6 +256,7 @@ func (e *Encoder) SetVertex(v graph.V) {
 	e.buf = append(e.buf, opSetVertex)
 	e.buf = appendVarint(e.buf, int64(v) - int64(e.lastV))
 	e.lastV = v
+	e.maybeChunk()
 }
 
 // StartIteration implements Sink.
@@ -193,6 +266,7 @@ func (e *Encoder) StartIteration() {
 	e.flushTicks()
 	e.stats.Iterations++
 	e.buf = append(e.buf, opStartIteration)
+	e.maybeChunk()
 }
 
 // SetTile implements Sink.
@@ -203,6 +277,7 @@ func (e *Encoder) SetTile(t int) {
 	e.stats.TileSwitches++
 	e.buf = append(e.buf, opSetTile)
 	e.buf = appendUvarint(e.buf, uint64(t))
+	e.maybeChunk()
 }
 
 // Mute implements Sink.
@@ -212,6 +287,7 @@ func (e *Encoder) Mute() {
 	e.flushTicks()
 	e.stats.MutedRegions++
 	e.buf = append(e.buf, opMute)
+	e.maybeChunk()
 }
 
 // Unmute implements Sink.
@@ -220,6 +296,7 @@ func (e *Encoder) Mute() {
 func (e *Encoder) Unmute() {
 	e.flushTicks()
 	e.buf = append(e.buf, opUnmute)
+	e.maybeChunk()
 }
 
 // Tick implements Sink: adjacent ticks coalesce until the next non-tick
@@ -234,6 +311,9 @@ func (e *Encoder) Tick(n uint64) {
 // Trace finalizes the encoder and returns the encoded stream. The encoder
 // must not be used after Trace is called.
 func (e *Encoder) Trace() *Trace {
+	if e.cw != nil {
+		panic("trace: Trace on a chunked encoder; finalize with Finish")
+	}
 	e.flushTicks()
 	return &Trace{data: e.buf, stats: e.stats}
 }
@@ -271,7 +351,6 @@ func (t *Trace) BytesPerEvent() float64 {
 // misdecoding bytes laid out under another version.
 //
 //popt:hot
-//popt:codec trace dec
 func (t *Trace) Replay(s Sink) {
 	if sim, ok := s.(*Sim); ok && sim.H != nil {
 		// Production replays always land in a live Sim; the specialized
@@ -280,10 +359,19 @@ func (t *Trace) Replay(s Sink) {
 		t.replaySim(sim)
 		return
 	}
+	replayTraceEvents(t.data, checkTraceHeader(t.data), s)
+}
+
+// replayTraceEvents is the generic decode loop behind Replay, shared with
+// the container reader's per-chunk path (each chunk payload decodes
+// independently: the encoder reset its delta state at the boundary, so
+// fresh zero-valued state here reconstructs the same absolute values).
+//
+//popt:hot
+//popt:codec trace dec
+func replayTraceEvents(data []byte, i int, s Sink) {
 	var last [pcSlots]uint64
 	var lastV graph.V
-	data := t.data
-	i := checkTraceHeader(data)
 	for i < len(data) {
 		b := data[i]
 		i++
