@@ -24,6 +24,8 @@ import (
 func main() {
 	scale := flag.String("scale", "default", "input scale: tiny, default, or large")
 	seed := flag.Int64("seed", 42, "generator seed")
+	layout := flag.String("layout", "auto", "adjacency storage layout: auto (compact at large scale, plain otherwise), plain, or compact; reports are identical across layouts")
+	memstats := flag.Bool("memstats", false, "report resident bytes per shared artifact (suite adjacencies, merged transposes) and exit unless experiments are also named")
 	list := flag.Bool("list", false, "list experiments and exit")
 	format := flag.String("format", "table", "output format: table or csv")
 	workers := flag.Int("j", 0, "sweep worker count: 0 = GOMAXPROCS, 1 = serial (output is identical at any count)")
@@ -114,9 +116,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "poptbench: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	lay, err := graph.ParseLayout(*layout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "poptbench: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.Layout = lay
+
+	if *memstats {
+		rep := bench.MemStats(cfg)
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", rep.ID, rep.Title, rep.CSV())
+		} else {
+			fmt.Println(rep.String())
+		}
+	}
 
 	ids := flag.Args()
 	if len(ids) == 0 {
+		if *memstats {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "poptbench: name experiments to run (or 'all'); -list shows them")
 		os.Exit(2)
 	}

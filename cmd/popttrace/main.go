@@ -212,7 +212,10 @@ func cmdInfo(args []string) error {
 		fmt.Printf("%s:\n", path)
 		fmt.Printf("  kind      %s\n", kindName(r.Kind()))
 		fmt.Printf("  key       %s/%s/%s/%d\n", m.Workload, m.Schedule, m.Scale, m.Seed)
-		fmt.Printf("  size      %d bytes (%d payload, %d max chunk)\n", r.Size(), r.PayloadBytes(), r.MaxChunkBytes())
+		fmt.Printf("  size      %s (%s payload, %s max chunk)\n",
+			bench.HumanBytes(uint64(r.Size())), bench.HumanBytes(uint64(r.PayloadBytes())),
+			bench.HumanBytes(uint64(r.MaxChunkBytes())))
+		fmt.Printf("  windows   %s\n", r.WindowMode())
 		fmt.Printf("  chunks    %d\n", r.Chunks())
 		fmt.Printf("  events    %d\n", r.Events())
 		fmt.Printf("  crc       %08x\n", r.StreamCRC())

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+
+	"popt/internal/mem"
+	"popt/internal/trace"
+)
+
+// MemStats reports the resident footprint of the shared artifacts a sweep
+// at this config would hold: per input graph, the adjacency bytes under
+// the resolved layout against the plain-CSR equivalent, plus the analytic
+// sizes of the two memoized preprocessing artifacts P-OPT cells share —
+// the Rereference Matrix table and the merged transpose (core.LineRefs).
+// The report is what -memstats prints and what BENCH_memory.json records;
+// building it costs one suite construction and no simulation.
+func MemStats(c Config) *Report {
+	lay := c.Layout.Resolve(c.Scale)
+	workers := trace.DefaultReplayWorkers()
+	rep := &Report{
+		ID:    "memstats",
+		Title: fmt.Sprintf("resident bytes per shared artifact (scale %s, layout %s)", c.Scale, lay),
+		Notes: []string{
+			"adjacency = resident Out+In bytes under the resolved layout;",
+			"plain-equiv = the same adjacencies as plain CSR (8(n+1)+4m per direction);",
+			"reref = Rereference Matrix table at the paper's 8-bit default;",
+			"linerefs = merged transpose for 4 B irregular elements (T-OPT artifact).",
+			fmt.Sprintf("Corpus replay windows are bounded separately at window x chunk = %s on this host (%d workers, 2x window, %s chunks).",
+				HumanBytes(uint64(2*workers*trace.DefaultChunkBytes)), workers, HumanBytes(trace.DefaultChunkBytes)),
+		},
+		Header: []string{"graph", "vertices", "edges", "adjacency", "plain-equiv", "ratio", "reref", "linerefs"},
+	}
+	var adjTotal, plainTotal, rrTotal, lrTotal uint64
+	for _, g := range c.Suite() {
+		n, m := g.NumVertices(), g.NumEdges()
+		adj := g.Out.MemBytes() + g.In.MemBytes()
+		plain := 2 * (8*uint64(n+1) + 4*uint64(m))
+		rr := rerefTableBytes(n)
+		lr := lineRefsBytes(n, m)
+		adjTotal += adj
+		plainTotal += plain
+		rrTotal += rr
+		lrTotal += lr
+		rep.AddRow(g.Name,
+			fmt.Sprintf("%d", n), fmt.Sprintf("%d", m),
+			HumanBytes(adj), HumanBytes(plain),
+			fmt.Sprintf("%.2fx", float64(plain)/float64(adj)),
+			HumanBytes(rr), HumanBytes(lr))
+	}
+	rep.AddRow("TOTAL", "", "",
+		HumanBytes(adjTotal), HumanBytes(plainTotal),
+		fmt.Sprintf("%.2fx", float64(plainTotal)/float64(adjTotal)),
+		HumanBytes(rrTotal), HumanBytes(lrTotal))
+	return rep
+}
+
+// rerefTableBytes is the analytic size of core.BuildTable's entry matrix
+// at the paper's 8-bit default for a 4 B-element irregular array: one
+// uint16 per (cache line of the array) x (epoch), with min(256, n)
+// epochs.
+func rerefTableBytes(n int) uint64 {
+	epl := mem.LineSize / 4
+	lines := (n + epl - 1) / epl
+	epochs := 256
+	if epochs > n {
+		epochs = n
+	}
+	return 2 * uint64(lines) * uint64(epochs)
+}
+
+// lineRefsBytes is the analytic size of core.BuildLineRefs' product for a
+// 4 B-element irregular array (mem.LineSize/4 vertices per line): the
+// offset array plus one 4 B reference per edge.
+func lineRefsBytes(n, m int) uint64 {
+	epl := mem.LineSize / 4
+	lines := (n + epl - 1) / epl
+	return 8*uint64(lines+1) + 4*uint64(m)
+}
+
+// HumanBytes renders a byte count in binary units with two significant
+// decimals, the form popttrace info and -memstats print.
+func HumanBytes(b uint64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%d B", b)
+	}
+	div, exp := uint64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.2f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}

@@ -30,6 +30,7 @@ type TransposePrefetcher struct {
 
 	last    graph.V
 	started bool
+	scratch []graph.V
 }
 
 // NewTransposePrefetcher wires a prefetcher with the given lookahead.
@@ -59,7 +60,7 @@ func (p *TransposePrefetcher) UpdateIndex(v graph.V) {
 	to := v + graph.V(p.Depth)
 	p.last = v
 	for target := from; target <= to && target < n; target++ {
-		for _, u := range p.Trav.Neighs(target) {
+		for _, u := range p.Trav.Neighbors(target, &p.scratch) {
 			if int(u) < p.Arr.Len {
 				p.H.Prefetch(mem.Access{Addr: p.Arr.Addr(int(u)), PC: prefetchPC})
 			}

@@ -87,6 +87,13 @@ type Table struct {
 	subDiv   mem.Divider
 }
 
+// MemBytes returns the resident size of the table's entry matrix, for
+// footprint reports (-memstats); geometry fields and dividers are noise
+// beside it.
+func (t *Table) MemBytes() uint64 {
+	return 2 * uint64(len(t.entries))
+}
+
 // initDividers precomputes the reciprocals of the epoch geometry; every
 // constructor of a Table must call it once EpochSize and SubEpochSize are
 // set (BuildTable does; so does the test helper that pins geometry by
@@ -231,6 +238,11 @@ func (t *Table) fillLines(refAdj *graph.Adj, numVertices, lo, hi int, hasRef []b
 		nextBitMask = 1 << (bits - 2)
 	}
 	n := refAdj.N()
+	vstart := lo * elemsPerLine
+	if vstart > n {
+		vstart = n
+	}
+	it := refAdj.IterFrom(graph.V(vstart))
 	for line := lo; line < hi; line++ {
 		for e := range hasRef {
 			hasRef[e] = false
@@ -246,7 +258,8 @@ func (t *Table) fillLines(refAdj *graph.Adj, numVertices, lo, hi int, hasRef []b
 		// whether any reference lands there and the sub-epoch of the LAST
 		// reference in that epoch.
 		for v := vlo; v < vhi; v++ {
-			for _, d := range refAdj.Neighs(graph.V(v)) {
+			ds, _ := it.Next()
+			for _, d := range ds {
 				if int(d) >= numVertices {
 					continue // outer loop never reaches it
 				}

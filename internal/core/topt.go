@@ -108,10 +108,16 @@ func (lr *LineRefs) mergeLines(ref *graph.Adj, elemsPerLine, lineLo, lineHi int)
 			hi = n
 		}
 		for v := lo; v < hi; v++ {
-			w += uint64(copy(lr.refs[w:], ref.Neighs(graph.V(v))))
+			w += uint64(ref.CopyNeighbors(lr.refs[w:], graph.V(v)))
 		}
 		graph.SortV(lr.refs[lr.oa[l]:w])
 	}
+}
+
+// MemBytes returns the resident size of the merged reference table, for
+// footprint reports (-memstats).
+func (lr *LineRefs) MemBytes() uint64 {
+	return uint64(8*len(lr.oa)) + uint64(4*len(lr.refs))
 }
 
 // Checksum returns an FNV-1a hash of the merged reference table; tests

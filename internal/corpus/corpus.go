@@ -95,7 +95,6 @@ type Entry struct {
 	Path string
 	Size int64
 
-	f *os.File
 	r *trace.Reader
 }
 
@@ -135,25 +134,21 @@ func (s *Store) Get(k Key) (*Entry, error) {
 		return e, nil
 	}
 	path := filepath.Join(s.dir, name)
-	f, err := os.Open(path)
+	// OpenContainerFile prefers a zero-copy mmap of the container and
+	// falls back to bounded-window preads; the Reader owns whichever
+	// resource backs it and Store.Close releases them all.
+	r, err := trace.OpenContainerFile(path)
 	if err != nil {
-		return nil, err
-	}
-	fi, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	r, err := trace.OpenContainer(f, fi.Size())
-	if err != nil {
-		f.Close()
+		if os.IsNotExist(err) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("corpus: %s: %w", name, err)
 	}
 	if got := KeyOf(r.Meta()); got != k {
-		f.Close()
+		r.Close()
 		return nil, fmt.Errorf("corpus: %s records key %+v, lookup asked for %+v", name, got, k)
 	}
-	e := &Entry{Key: k, Path: path, Size: fi.Size(), f: f, r: r}
+	e := &Entry{Key: k, Path: path, Size: r.Size(), r: r}
 	s.open[name] = e
 	s.entries = append(s.entries, e)
 	return e, nil
@@ -270,23 +265,14 @@ func (s *Store) Manifest() ([]Item, error) {
 
 // OpenFile opens a single container file outside any store — the
 // standalone-path form popttrace's info/verify/rechunk subcommands use.
-// The caller closes the returned closer when done with the reader.
+// The reader is its own closer (it owns the mapping or descriptor behind
+// it); the caller closes it when done.
 func OpenFile(path string) (*trace.Reader, io.Closer, error) {
-	f, err := os.Open(path)
+	r, err := trace.OpenContainerFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	fi, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	r, err := trace.OpenContainer(f, fi.Size())
-	if err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	return r, f, nil
+	return r, r, nil
 }
 
 // Close releases every open entry. The store must not be used afterwards.
@@ -295,7 +281,7 @@ func (s *Store) Close() error {
 	defer s.mu.Unlock()
 	var first error
 	for _, e := range s.entries {
-		if err := e.f.Close(); err != nil && first == nil {
+		if err := e.r.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -1,0 +1,295 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// compactShapes returns the equivalence-test corpus: one graph per
+// generator family (the structural shapes the suite exercises — skew,
+// community locality, uniform randomness, bounded-degree mesh), plus
+// degenerate and escape-stressing shapes (degrees straddling the 0xFF
+// exception threshold) and a radix-partitioned build.
+func compactShapes(t testing.TB, includeRadix bool) []*Graph {
+	t.Helper()
+	hub := func(n, d int) *Graph {
+		// One hub of degree d (exception-table path when d >= 255), the
+		// rest sparse.
+		edges := make([]Edge, 0, d+n)
+		for i := 1; i <= d; i++ {
+			edges = append(edges, Edge{0, V(i % (n - 1) * 1)}, Edge{V(i % n), V((i * 7) % n)})
+		}
+		return FromEdges("hub", n, edges)
+	}
+	shapes := []*Graph{
+		PowerLaw(1<<11, 8, 2.0, 42),
+		Community(1<<11, 12, 64, 0.8, 43),
+		Kron(12, 4, 44),
+		Uniform(1<<12, 4<<12, 45),
+		MeshScrambled(48, 48, 46),
+		FromEdges("empty", 4, nil),
+		FromEdges("loops", 1, []Edge{{0, 0}}),
+		hub(1024, 254),
+		hub(1024, 255),
+		hub(1024, 300),
+	}
+	if includeRadix {
+		n := radixMinVerts + 999
+		shapes = append(shapes, FromEdges("radix", n, synthEdges(n, 3*n+777, 11)))
+	}
+	return shapes
+}
+
+// TestCompactPlainEquivalence is the property test pinning the compact
+// layout to the plain one: degree, Start, full iteration (IterFrom from
+// several origins), Neighbors/CopyNeighbors/Neighs, and NextAfter at
+// every boundary (below the first neighbor, at and between every
+// neighbor, past the last) must agree vertex for vertex. It runs in the
+// CI race job (-race -count=2), so the chunk-parallel encoder's
+// disjoint-range claims are raced too.
+func TestCompactPlainEquivalence(t *testing.T) {
+	for _, plain := range compactShapes(t, !testing.Short()) {
+		plain := plain
+		t.Run(plain.Name, func(t *testing.T) {
+			comp := plain.WithLayout(LayoutCompact)
+			if !comp.Out.IsCompact() || !comp.In.IsCompact() {
+				t.Fatal("WithLayout(LayoutCompact) left a plain direction")
+			}
+			// Sampled vertices get the expensive exhaustive probes on the
+			// big radix graph; small graphs check every vertex.
+			stride := 1
+			if plain.NumVertices() > 1<<16 {
+				stride = 17
+			}
+			for dir, pair := range []struct{ p, c *Adj }{
+				{&plain.Out, &comp.Out}, {&plain.In, &comp.In},
+			} {
+				p, c := pair.p, pair.c
+				if p.N() != c.N() || p.M() != c.M() {
+					t.Fatalf("dir %d: dims (%d,%d) != (%d,%d)", dir, c.N(), c.M(), p.N(), p.M())
+				}
+				n := p.N()
+				it := c.IterFrom(0)
+				var buf, cbuf []V
+				for v := 0; v < n; v++ {
+					want := p.Neighs(V(v))
+					ns, start := it.Next()
+					if start != p.OA[v] {
+						t.Fatalf("dir %d v %d: iter start %d, want %d", dir, v, start, p.OA[v])
+					}
+					if !equalV(ns, want) {
+						t.Fatalf("dir %d v %d: iter neighbors diverge", dir, v)
+					}
+					if v%stride != 0 {
+						continue
+					}
+					if got := c.Degree(V(v)); got != len(want) {
+						t.Fatalf("dir %d v %d: degree %d, want %d", dir, v, got, len(want))
+					}
+					if got := c.Start(V(v)); got != p.OA[v] {
+						t.Fatalf("dir %d v %d: start %d, want %d", dir, v, got, p.OA[v])
+					}
+					if got := c.Neighbors(V(v), &buf); !equalV(got, want) {
+						t.Fatalf("dir %d v %d: Neighbors diverges", dir, v)
+					}
+					if cap(cbuf) < len(want) {
+						cbuf = make([]V, len(want))
+					}
+					if k := c.CopyNeighbors(cbuf[:cap(cbuf)], V(v)); k != len(want) || !equalV(cbuf[:k], want) {
+						t.Fatalf("dir %d v %d: CopyNeighbors diverges", dir, v)
+					}
+					if got := c.Neighs(V(v)); !equalV(got, want) {
+						t.Fatalf("dir %d v %d: Neighs diverges", dir, v)
+					}
+					// NextAfter at every boundary.
+					probes := []V{0}
+					if len(want) > 0 {
+						first := want[0]
+						if first > 0 {
+							probes = append(probes, first-1)
+						}
+						for _, u := range want {
+							probes = append(probes, u)
+							if u+1 != 0 {
+								probes = append(probes, u+1)
+							}
+						}
+					}
+					for _, cur := range probes {
+						gn, gok := c.NextAfter(V(v), cur)
+						wn, wok := p.NextAfter(V(v), cur)
+						if gn != wn || gok != wok {
+							t.Fatalf("dir %d v %d: NextAfter(%d) = (%d,%v), want (%d,%v)",
+								dir, v, cur, gn, gok, wn, wok)
+						}
+					}
+				}
+				if got := c.Start(V(n)); got != uint64(p.M()) {
+					t.Fatalf("dir %d: Start(n) = %d, want %d", dir, got, p.M())
+				}
+				// Iteration must also be resumable from mid-graph offsets,
+				// including mid-block ones (the per-worker entry points of
+				// fillLines/mergeLines).
+				for _, from := range []int{n / 3, n/2 + 1, n - 1} {
+					if from < 0 || from >= n {
+						continue
+					}
+					it := c.IterFrom(V(from))
+					pit := p.IterFrom(V(from))
+					for v := from; v < n && v < from+2*compactBlock; v++ {
+						ns, start := it.Next()
+						wns, wstart := pit.Next()
+						if start != wstart || !equalV(ns, wns) {
+							t.Fatalf("dir %d IterFrom(%d) v %d diverges", dir, from, v)
+						}
+					}
+				}
+			}
+			// Checksums embed in corpus stream keys and must not depend on
+			// the layout.
+			if plain.Checksum() != comp.Checksum() {
+				t.Fatal("checksum depends on layout")
+			}
+			// Round trips: compact -> plain materialization, and the POPTG2
+			// serialization (with its fully validating decoder).
+			back := comp.WithLayout(LayoutPlain)
+			if !equalU64(back.Out.OA, plain.Out.OA) || !equalV(back.Out.NA, plain.Out.NA) ||
+				!equalU64(back.In.OA, plain.In.OA) || !equalV(back.In.NA, plain.In.NA) {
+				t.Fatal("materializePlain does not invert compactFromPlain")
+			}
+			var sink bytes.Buffer
+			if err := Write(&sink, comp); err != nil {
+				t.Fatalf("write compact: %v", err)
+			}
+			rg, err := Read(&sink)
+			if err != nil {
+				t.Fatalf("read compact: %v", err)
+			}
+			if rg.Checksum() != plain.Checksum() {
+				t.Fatal("POPTG2 round trip changed the graph")
+			}
+			if !rg.Out.IsCompact() {
+				t.Fatal("POPTG2 round trip lost the compact layout")
+			}
+			// The compact layout must actually be smaller on every
+			// non-degenerate shape (the claim -memstats reports).
+			if plain.NumEdges() > 1000 {
+				if comp.Out.MemBytes() >= plain.Out.MemBytes() {
+					t.Errorf("compact out-adjacency not smaller: %d >= %d",
+						comp.Out.MemBytes(), plain.Out.MemBytes())
+				}
+			}
+		})
+	}
+}
+
+// TestCompactEncoderWorkerInvariance pins the chunk-parallel encoder: the
+// compact bytes are identical at every worker count.
+func TestCompactEncoderWorkerInvariance(t *testing.T) {
+	n := 1 << 13
+	plain := FromEdges("inv", n, synthEdges(n, 6*minEdgesPerWorker, 5))
+	var want *adjCompact
+	for _, p := range []int{1, 2, 4} {
+		var got *adjCompact
+		atGOMAXPROCS(p, func() { got = compactFromPlain(&plain.Out) })
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got.data, want.data) || !bytes.Equal(got.deg, want.deg) ||
+			!equalU64(got.byteBase, want.byteBase) || !equalU64(got.edgeBase, want.edgeBase) {
+			t.Fatalf("GOMAXPROCS=%d: encoder output differs", p)
+		}
+	}
+}
+
+// FuzzAdjBlocks drives the validating compact-adjacency decoder with
+// corrupted real encodings: truncated blocks, corrupt varints, wrapped
+// (non-monotone) neighbor accumulations, exception-table disagreements.
+// The decoder must error on anything inconsistent and never panic; on
+// acceptance, random access must agree with sequential iteration over the
+// decoded structure.
+func FuzzAdjBlocks(f *testing.F) {
+	for _, g := range compactShapes(f, false) {
+		c := compactFromPlain(&g.Out)
+		f.Add(appendCompactAdj(nil, c))
+	}
+	// Targeted corruptions of one real encoding.
+	base := appendCompactAdj(nil, compactFromPlain(&Kron(10, 4, 7).Out))
+	f.Add(base[:len(base)/2])                  // truncated data
+	f.Add(append([]byte{0xff, 0xff}, base...)) // absurd header varint
+	mut := append([]byte(nil), base...)
+	mut[len(mut)-1] |= 0x80 // final varint never terminates
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, _, err := decodeCompactAdj(data)
+		if err != nil {
+			return
+		}
+		// Accepted payloads must behave: sequential iteration and random
+		// access agree everywhere, within the validated bounds.
+		a := Adj{c: c}
+		n := a.N()
+		it := a.IterFrom(0)
+		var edges uint64
+		for v := 0; v < n; v++ {
+			ns, start := it.Next()
+			if start != a.Start(V(v)) {
+				t.Fatalf("vertex %d: iter start %d != Start %d", v, start, a.Start(V(v)))
+			}
+			if len(ns) != a.Degree(V(v)) {
+				t.Fatalf("vertex %d: iter degree %d != Degree %d", v, len(ns), a.Degree(V(v)))
+			}
+			for i := 1; i < len(ns); i++ {
+				if ns[i] <= ns[i-1] {
+					t.Fatalf("vertex %d: accepted non-monotone neighbors", v)
+				}
+			}
+			edges += uint64(len(ns))
+		}
+		if edges != uint64(a.M()) {
+			t.Fatalf("degrees sum to %d, M() = %d", edges, a.M())
+		}
+	})
+}
+
+// BenchmarkCompactEncode tracks the final build phase the compact layout
+// adds (chunk-parallel block encoding of a built CSR).
+func BenchmarkCompactEncode(b *testing.B) {
+	n := 1 << 16
+	g := FromEdges("bench", n, synthEdges(n, 8*n, 3))
+	b.SetBytes(int64(8*(n+1) + 4*g.NumEdges()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compactFromPlain(&g.Out)
+	}
+}
+
+// BenchmarkNeighborIter compares the layout-neutral inner loop on both
+// layouts: the decode cost per edge is the honest overhead the compact
+// layout pays for its footprint.
+func BenchmarkNeighborIter(b *testing.B) {
+	n := 1 << 16
+	g := FromEdges("bench", n, synthEdges(n, 8*n, 3))
+	comp := g.WithLayout(LayoutCompact)
+	for _, tc := range []struct {
+		name string
+		a    *Adj
+	}{{"plain", &g.Out}, {"compact", &comp.Out}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.SetBytes(int64(4 * g.NumEdges()))
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				it := tc.a.IterFrom(0)
+				for v := 0; v < n; v++ {
+					ns, start := it.Next()
+					sink += start
+					for _, u := range ns {
+						sink += uint64(u)
+					}
+				}
+			}
+			_ = sink
+		})
+	}
+}

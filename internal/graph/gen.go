@@ -487,12 +487,20 @@ func (s Scale) String() string {
 }
 
 // Suite returns the five-input suite mirroring Table III at the requested
-// scale. The order matches the paper's tables: DBP, UK, KRON, URAND, HBUBL.
-// Suites are memoized per (scale, seed): the first call generates the
-// graphs, later calls share the same immutable *Graph values. The returned
-// slice is a fresh copy, so callers may append to or reorder it freely.
+// scale, in the plain layout. The order matches the paper's tables: DBP,
+// UK, KRON, URAND, HBUBL. Suites are memoized per (scale, seed, layout):
+// the first call generates the graphs, later calls share the same
+// immutable *Graph values. The returned slice is a fresh copy, so callers
+// may append to or reorder it freely.
 func Suite(s Scale, seed int64) []*Graph {
-	cached := cachedSuite(s, seed)
+	return SuiteLayout(s, seed, LayoutPlain)
+}
+
+// SuiteLayout is Suite with an adjacency-layout knob. LayoutAuto resolves
+// per scale (compact at ScaleLarge, plain below); the resolved layout is
+// part of the memoization key, so plain and compact suites coexist.
+func SuiteLayout(s Scale, seed int64, lay Layout) []*Graph {
+	cached := cachedSuiteLayout(s, seed, lay)
 	out := make([]*Graph, len(cached))
 	copy(out, cached)
 	return out
@@ -506,8 +514,11 @@ func Suite(s Scale, seed int64) []*Graph {
 // cache lock, so the callback is never invoked concurrently.
 var SuiteProgress func(g *Graph, elapsed time.Duration)
 
-// buildSuite generates the suite; Suite memoizes it.
-func buildSuite(s Scale, seed int64) []*Graph {
+// buildSuite generates the suite; Suite memoizes it. lay must already be
+// resolved (plain or compact); compact conversion happens inside the
+// per-graph loop so each plain intermediate is dropped before the next
+// graph generates.
+func buildSuite(s Scale, seed int64, lay Layout) []*Graph {
 	var gens []func() *Graph
 	switch s {
 	case ScaleTiny:
@@ -543,12 +554,16 @@ func buildSuite(s Scale, seed int64) []*Graph {
 	}
 	out := make([]*Graph, len(gens))
 	for i, gen := range gens {
+		build := gen
+		if lay == LayoutCompact {
+			build = func() *Graph { return gen().WithLayout(LayoutCompact) }
+		}
 		if SuiteProgress != nil {
 			start := time.Now() //lint:allow determinism (host-side progress timing, not simulated state)
-			out[i] = gen()
+			out[i] = build()
 			SuiteProgress(out[i], time.Since(start)) //lint:allow determinism (host-side progress timing)
 		} else {
-			out[i] = gen()
+			out[i] = build()
 		}
 	}
 	return out

@@ -8,23 +8,44 @@ import (
 	"strings"
 )
 
-// Serialization uses a small binary container (magic "POPTG1") holding the
-// name and both adjacency directions, so generated suites can be saved by
-// cmd/graphgen and reloaded by the benchmark harness without regeneration.
+// Serialization uses a small binary container holding the name and both
+// adjacency directions, so generated suites can be saved by cmd/graphgen
+// and reloaded by the benchmark harness without regeneration. Plain graphs
+// write the historical "POPTG1" form, byte-identical to every file written
+// before the compact layout existed; graphs holding a compact direction
+// write "POPTG2", which prefixes each adjacency with a layout byte and
+// stores compact directions in their encoded form (they load without a
+// decode-reencode round trip, and Read validates the payload fully). Read
+// accepts both.
 
-const magic = "POPTG1"
+const (
+	magic   = "POPTG1"
+	magicV2 = "POPTG2"
+
+	adjLayoutPlain   = 0
+	adjLayoutCompact = 1
+)
 
 // Write serializes g to w.
 func Write(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(magic); err != nil {
+	v2 := g.Out.IsCompact() || g.In.IsCompact()
+	head := magic
+	if v2 {
+		head = magicV2
+	}
+	if _, err := bw.WriteString(head); err != nil {
 		return err
 	}
 	if err := writeString(bw, g.Name); err != nil {
 		return err
 	}
 	for _, a := range []*Adj{&g.Out, &g.In} {
-		if err := writeAdj(bw, a); err != nil {
+		if v2 {
+			if err := writeAdjV2(bw, a); err != nil {
+				return err
+			}
+		} else if err := writeAdj(bw, a); err != nil {
 			return err
 		}
 	}
@@ -38,7 +59,12 @@ func Read(r io.Reader) (*Graph, error) {
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("graph: reading magic: %w", err)
 	}
-	if string(head) != magic {
+	v2 := false
+	switch string(head) {
+	case magic:
+	case magicV2:
+		v2 = true
+	default:
 		return nil, fmt.Errorf("graph: bad magic %q", head)
 	}
 	name, err := readString(br)
@@ -47,11 +73,68 @@ func Read(r io.Reader) (*Graph, error) {
 	}
 	g := &Graph{Name: name}
 	for _, a := range []*Adj{&g.Out, &g.In} {
-		if err := readAdj(br, a); err != nil {
+		if v2 {
+			if err := readAdjV2(br, a); err != nil {
+				return nil, err
+			}
+		} else if err := readAdj(br, a); err != nil {
 			return nil, err
 		}
 	}
 	return g, nil
+}
+
+// writeAdjV2 writes a layout byte, then either the POPTG1 array form or
+// the length-prefixed compact payload.
+func writeAdjV2(w io.Writer, a *Adj) error {
+	if !a.IsCompact() {
+		if _, err := w.Write([]byte{adjLayoutPlain}); err != nil {
+			return err
+		}
+		return writeAdj(w, a)
+	}
+	if _, err := w.Write([]byte{adjLayoutCompact}); err != nil {
+		return err
+	}
+	payload := appendCompactAdj(nil, a.c)
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(payload))); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readAdjV2(r io.Reader, a *Adj) error {
+	var lay [1]byte
+	if _, err := io.ReadFull(r, lay[:]); err != nil {
+		return err
+	}
+	switch lay[0] {
+	case adjLayoutPlain:
+		return readAdj(r, a)
+	case adjLayoutCompact:
+		var size uint64
+		if err := binary.Read(r, binary.LittleEndian, &size); err != nil {
+			return err
+		}
+		if size > 1<<40 {
+			return fmt.Errorf("graph: unreasonable compact payload size %d", size)
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return err
+		}
+		c, rest, err := decodeCompactAdj(payload)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 0 {
+			return fmt.Errorf("graph: %d trailing bytes after compact adjacency", len(rest))
+		}
+		*a = Adj{c: c}
+		return nil
+	}
+	return fmt.Errorf("graph: unknown adjacency layout %d", lay[0])
 }
 
 func writeString(w io.Writer, s string) error {

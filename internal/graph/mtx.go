@@ -86,8 +86,10 @@ func WriteMatrixMarket(w io.Writer, g *Graph) error {
 	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate pattern general")
 	fmt.Fprintf(bw, "%% graph %s\n", g.Name)
 	fmt.Fprintf(bw, "%d %d %d\n", g.NumVertices(), g.NumVertices(), g.NumEdges())
+	it := g.Out.IterFrom(0)
 	for u := 0; u < g.NumVertices(); u++ {
-		for _, v := range g.Out.Neighs(V(u)) {
+		ns, _ := it.Next()
+		for _, v := range ns {
 			fmt.Fprintf(bw, "%d %d\n", u+1, v+1)
 		}
 	}

@@ -78,8 +78,10 @@ func HotPrefixLines(g *Graph, p Permutation, elemSize, budgetBytes int) int {
 func (p Permutation) Apply(g *Graph) *Graph {
 	n := g.NumVertices()
 	edges := make([]Edge, 0, g.NumEdges())
+	it := g.Out.IterFrom(0)
 	for s := 0; s < n; s++ {
-		for _, d := range g.Out.Neighs(V(s)) {
+		ns, _ := it.Next()
+		for _, d := range ns {
 			edges = append(edges, Edge{p[s], p[d]})
 		}
 	}

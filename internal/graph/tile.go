@@ -46,21 +46,25 @@ func Segment(g *Graph, numTiles int) *Segmented {
 
 // filterAdjBySource keeps only neighbors in [lo, hi) of each vertex list.
 // Because lists are sorted, each filtered list is a contiguous sub-slice.
+// Both passes run through the sequential iterator, so a compact input is
+// decoded streaming rather than per-vertex.
 func filterAdjBySource(in *Adj, lo, hi V) Adj {
 	n := in.N()
 	oa := make([]uint64, n+1)
 	var total uint64
+	it := in.IterFrom(0)
 	for d := 0; d < n; d++ {
 		oa[d] = total
-		ns := in.Neighs(V(d))
+		ns, _ := it.Next()
 		a, b := lowerBound(ns, lo), lowerBound(ns, hi)
 		total += uint64(b - a)
 	}
 	oa[n] = total
 	na := make([]V, total)
 	var w uint64
+	it = in.IterFrom(0)
 	for d := 0; d < n; d++ {
-		ns := in.Neighs(V(d))
+		ns, _ := it.Next()
 		a, b := lowerBound(ns, lo), lowerBound(ns, hi)
 		w += uint64(copy(na[w:], ns[a:b]))
 	}
@@ -121,8 +125,10 @@ func (s *Segmented) TileTranspose(i int) Adj {
 	oa[n] = total
 	na := make([]V, total)
 	var w uint64
+	it := s.G.Out.IterFrom(t.SrcLo)
 	for v := t.SrcLo; v < t.SrcHi; v++ {
-		w += uint64(copy(na[w:], s.G.Out.Neighs(v)))
+		ns, _ := it.Next()
+		w += uint64(copy(na[w:], ns))
 	}
 	return Adj{OA: oa, NA: na}
 }

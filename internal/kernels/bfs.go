@@ -59,17 +59,17 @@ func NewBFS(g *graph.Graph) *Workload {
 			// levels are top-down pushes, not simulated in detail.
 			r.SetMuted(EdgeDensity(frontier, &g.Out) < PullDensityThreshold)
 			r.StartIteration()
+			cscIt := g.In.IterFrom(0)
 			for dst := 0; dst < n; dst++ {
 				r.SetVertex(graph.V(dst))
+				srcs, lo := cscIt.Next()
 				nextFrontier[dst] = false
 				if parent[dst] != noParent {
 					continue
 				}
 				r.Load(oaArr, dst, PCOffsets)
-				lo, hi := g.In.OA[dst], g.In.OA[dst+1]
-				for e := lo; e < hi; e++ {
-					r.Load(naArr, int(e), PCNeighbors)
-					src := g.In.NA[e]
+				for i, src := range srcs {
+					r.Load(naArr, int(lo)+i, PCNeighbors)
 					r.Load(frontierArr, int(src), PCFrontierRead)
 					r.Tick(1)
 					if frontier[src] {

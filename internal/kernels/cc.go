@@ -43,15 +43,15 @@ func NewCC(g *graph.Graph) *Workload {
 			change := false
 			// Hooking: push over out-edges.
 			r.StartIteration()
+			csrIt := g.Out.IterFrom(0)
 			for u := 0; u < n; u++ {
 				r.SetVertex(graph.V(u))
 				r.Load(oaArr, u, PCOffsets)
 				r.Load(compArr, u, PCCompRead) // comp[u] reused across inner loop
 				cu := comp[u]
-				lo, hi := g.Out.OA[u], g.Out.OA[u+1]
-				for e := lo; e < hi; e++ {
-					r.Load(naArr, int(e), PCNeighbors)
-					v := g.Out.NA[e]
+				dsts, lo := csrIt.Next()
+				for i, v := range dsts {
+					r.Load(naArr, int(lo)+i, PCNeighbors)
 					r.Load(compArr, int(v), PCIrregRead)
 					cv := comp[v]
 					switch {
@@ -144,8 +144,10 @@ func goldenComponents(g *graph.Graph) []int {
 		}
 		return x
 	}
+	it := g.Out.IterFrom(0)
 	for u := 0; u < n; u++ {
-		for _, v := range g.Out.Neighs(graph.V(u)) {
+		vs, _ := it.Next()
+		for _, v := range vs {
 			ru, rv := find(u), find(int(v))
 			if ru != rv {
 				parent[ru] = rv

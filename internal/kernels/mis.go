@@ -63,8 +63,10 @@ func NewMIS(gIn *graph.Graph) *Workload {
 			// direction-switching framework).
 			r.SetMuted(EdgeDensity(frontier, &g.Out) < PullDensityThreshold)
 			r.StartIteration()
+			cscIt := g.In.IterFrom(0)
 			for dst := 0; dst < n; dst++ {
 				r.SetVertex(graph.V(dst))
+				srcs, lo := cscIt.Next()
 				next[dst] = status[dst]
 				nextFrontier[dst] = false
 				if status[dst] != misUndecided {
@@ -73,10 +75,8 @@ func NewMIS(gIn *graph.Graph) *Workload {
 				r.Load(oaArr, dst, PCOffsets)
 				canJoin := true
 				mustLeave := false
-				lo, hi := g.In.OA[dst], g.In.OA[dst+1]
-				for e := lo; e < hi; e++ {
-					r.Load(naArr, int(e), PCNeighbors)
-					src := g.In.NA[e]
+				for i, src := range srcs {
+					r.Load(naArr, int(lo)+i, PCNeighbors)
 					r.Load(frontierArr, int(src), PCFrontierRead)
 					r.Load(statusArr, int(src), PCIrregRead)
 					switch {
@@ -151,19 +151,26 @@ func NewMIS(gIn *graph.Graph) *Workload {
 }
 
 // Symmetrize returns the undirected closure of g (every edge present in
-// both directions, self-loops dropped).
+// both directions, self-loops dropped). The result keeps g's adjacency
+// layout so a compact input stays compact.
 func Symmetrize(g *graph.Graph) *graph.Graph {
 	n := g.NumVertices()
 	edges := make([]graph.Edge, 0, 2*g.NumEdges())
+	it := g.Out.IterFrom(0)
 	for u := 0; u < n; u++ {
-		for _, v := range g.Out.Neighs(graph.V(u)) {
+		vs, _ := it.Next()
+		for _, v := range vs {
 			if graph.V(u) == v {
 				continue
 			}
 			edges = append(edges, graph.Edge{Src: graph.V(u), Dst: v}, graph.Edge{Src: v, Dst: graph.V(u)})
 		}
 	}
-	return graph.FromEdges(g.Name+"-sym", n, edges)
+	sym := graph.FromEdges(g.Name+"-sym", n, edges)
+	if g.Out.IsCompact() {
+		sym = sym.WithLayout(graph.LayoutCompact)
+	}
+	return sym
 }
 
 // goldenLexFirstMIS computes the lexicographically-first maximal
@@ -172,12 +179,14 @@ func goldenLexFirstMIS(g *graph.Graph) []bool {
 	n := g.NumVertices()
 	in := make([]bool, n)
 	blocked := make([]bool, n)
+	it := g.Out.IterFrom(0)
 	for v := 0; v < n; v++ {
+		us, _ := it.Next()
 		if blocked[v] {
 			continue
 		}
 		in[v] = true
-		for _, u := range g.Out.Neighs(graph.V(v)) {
+		for _, u := range us {
 			if u != graph.V(v) {
 				blocked[u] = true
 			}

@@ -54,16 +54,19 @@ func NewPageRank(g *graph.Graph) *Workload {
 				r.Store(contribArr, v, PCStreamWrite)
 				r.Tick(2)
 			}
-			// Pull phase: irregular contrib reads guided by the CSC.
+			// Pull phase: irregular contrib reads guided by the CSC. The
+			// iterator yields each destination's sources plus the global
+			// edge index its list starts at, so the simulated neighbor-
+			// array addresses are identical in either adjacency layout.
 			r.StartIteration()
+			cscIt := g.In.IterFrom(0)
 			for dst := 0; dst < n; dst++ {
 				r.SetVertex(graph.V(dst))
 				r.Load(oaArr, dst, PCOffsets)
 				sum := 0.0
-				lo, hi := g.In.OA[dst], g.In.OA[dst+1]
-				for e := lo; e < hi; e++ {
-					r.Load(naArr, int(e), PCNeighbors)
-					src := g.In.NA[e]
+				srcs, lo := cscIt.Next()
+				for i, src := range srcs {
+					r.Load(naArr, int(lo)+i, PCNeighbors)
 					r.Load(contribArr, int(src), PCIrregRead)
 					sum += contrib[src]
 					r.Tick(1)
@@ -114,9 +117,11 @@ func ConvergedPageRank(g *graph.Graph, tol float64, maxIters int) int {
 			}
 		}
 		delta := 0.0
+		cscIt := g.In.IterFrom(0)
 		for dst := 0; dst < n; dst++ {
 			sum := 0.0
-			for _, src := range g.In.Neighs(graph.V(dst)) {
+			srcs, _ := cscIt.Next()
+			for _, src := range srcs {
 				sum += contrib[src]
 			}
 			nr := base + prDamping*sum
@@ -151,13 +156,14 @@ func goldenPageRank(g *graph.Graph, iters int) []float64 {
 		for i := range next {
 			next[i] = base
 		}
+		csrIt := g.Out.IterFrom(0)
 		for u := 0; u < n; u++ {
-			d := g.Out.Degree(graph.V(u))
-			if d == 0 {
+			vs, _ := csrIt.Next()
+			if len(vs) == 0 {
 				continue
 			}
-			share := prDamping * rank[u] / float64(d)
-			for _, v := range g.Out.Neighs(graph.V(u)) {
+			share := prDamping * rank[u] / float64(len(vs))
+			for _, v := range vs {
 				next[v] += share
 			}
 		}

@@ -37,6 +37,10 @@ func NewPageRankOrdered(g *graph.Graph, order []graph.V) *Workload {
 		Pull:      true,
 	}
 	w.run = func(r *Runner) {
+		// The schedule visits destinations out of order, so the pull phase
+		// uses random access (Start + Neighbors) rather than the sequential
+		// iterator; the simulated addresses are the same either way.
+		var scratch []graph.V
 		for it := 0; it < prIters; it++ {
 			for v := 0; v < n; v++ {
 				r.Load(rankArr, v, PCStreamRead)
@@ -53,10 +57,9 @@ func NewPageRankOrdered(g *graph.Graph, order []graph.V) *Workload {
 				r.SetVertex(dst)
 				r.Load(oaArr, int(dst), PCOffsets)
 				sum := 0.0
-				lo, hi := g.In.OA[dst], g.In.OA[dst+1]
-				for e := lo; e < hi; e++ {
-					r.Load(naArr, int(e), PCNeighbors)
-					src := g.In.NA[e]
+				lo := g.In.Start(dst)
+				for i, src := range g.In.Neighbors(dst, &scratch) {
+					r.Load(naArr, int(lo)+i, PCNeighbors)
 					r.Load(contribArr, int(src), PCIrregRead)
 					sum += contrib[src]
 					r.Tick(1)
@@ -124,19 +127,19 @@ func NewPageRankTiled(g *graph.Graph, seg *graph.Segmented) *Workload {
 				r.SetTile(t)
 				r.StartIteration()
 				tin := &seg.Tiles[t].In
+				tinIt := tin.IterFrom(0)
 				for dst := 0; dst < n; dst++ {
 					r.SetVertex(graph.V(dst))
 					r.Load(oaArr, dst, PCOffsets)
 					partial := 0.0
-					lo, hi := tin.OA[dst], tin.OA[dst+1]
-					for e := lo; e < hi; e++ {
-						r.Load(naArr, int(e), PCNeighbors)
-						src := tin.NA[e]
+					srcs, lo := tinIt.Next()
+					for i, src := range srcs {
+						r.Load(naArr, int(lo)+i, PCNeighbors)
 						r.Load(contribArr, int(src), PCIrregRead)
 						partial += contrib[src]
 						r.Tick(1)
 					}
-					if hi > lo {
+					if len(srcs) > 0 {
 						sums[dst] += partial
 						r.Load(sumsArr, dst, PCStreamRead)
 						r.Store(sumsArr, dst, PCStreamWrite)

@@ -53,14 +53,14 @@ func NewPRDelta(g *graph.Graph) *Workload {
 		for it := 0; it < prdIters; it++ {
 			r.SetMuted(EdgeDensity(frontier, &g.Out) < PullDensityThreshold)
 			r.StartIteration()
+			cscIt := g.In.IterFrom(0)
 			for dst := 0; dst < n; dst++ {
 				r.SetVertex(graph.V(dst))
 				r.Load(oaArr, dst, PCOffsets)
 				sum := 0.0
-				lo, hi := g.In.OA[dst], g.In.OA[dst+1]
-				for e := lo; e < hi; e++ {
-					r.Load(naArr, int(e), PCNeighbors)
-					src := g.In.NA[e]
+				srcs, lo := cscIt.Next()
+				for i, src := range srcs {
+					r.Load(naArr, int(lo)+i, PCNeighbors)
 					// Frontier membership is checked for every edge; the
 					// delta is fetched only when the source is active.
 					r.Load(frontierArr, int(src), PCFrontierRead)
@@ -128,9 +128,11 @@ func goldenPRDelta(g *graph.Graph, iters int) (rank []float64, frontier []bool) 
 	}
 	base := (1 - prDamping) / float64(n)
 	for it := 0; it < iters; it++ {
+		cscIt := g.In.IterFrom(0)
 		for dst := 0; dst < n; dst++ {
 			sum := 0.0
-			for _, src := range g.In.Neighs(graph.V(dst)) {
+			srcs, _ := cscIt.Next()
+			for _, src := range srcs {
 				if frontier[src] {
 					if d := g.Out.Degree(src); d > 0 {
 						sum += delta[src] / float64(d)

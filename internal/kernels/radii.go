@@ -78,14 +78,14 @@ func NewRadii(g *graph.Graph) *Workload {
 			// as in the paper's iteration sampling.
 			r.SetMuted(EdgeDensity(frontier, &g.Out) < PullDensityThreshold)
 			r.StartIteration()
+			cscIt := g.In.IterFrom(0)
 			for dst := 0; dst < n; dst++ {
 				r.SetVertex(graph.V(dst))
 				r.Load(oaArr, dst, PCOffsets)
 				acc := visited[dst]
-				lo, hi := g.In.OA[dst], g.In.OA[dst+1]
-				for e := lo; e < hi; e++ {
-					r.Load(naArr, int(e), PCNeighbors)
-					src := g.In.NA[e]
+				srcs, lo := cscIt.Next()
+				for i, src := range srcs {
+					r.Load(naArr, int(lo)+i, PCNeighbors)
 					r.Load(frontierArr, int(src), PCFrontierRead)
 					if frontier[src] {
 						r.Load(visitedArr, int(src), PCIrregRead)
@@ -163,10 +163,11 @@ func bfsForward(g *graph.Graph, s graph.V, maxRounds int) []int {
 	}
 	dist[s] = 0
 	cur := []graph.V{s}
+	var scratch []graph.V
 	for round := 1; len(cur) > 0 && round <= maxRounds; round++ {
 		var next []graph.V
 		for _, u := range cur {
-			for _, v := range g.Out.Neighs(u) {
+			for _, v := range g.Out.Neighbors(u, &scratch) {
 				if dist[v] < 0 {
 					dist[v] = round
 					next = append(next, v)

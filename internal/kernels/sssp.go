@@ -67,23 +67,24 @@ func NewSSSP(g *graph.Graph) *Workload {
 			copy(next, dist)
 			r.SetMuted(EdgeDensity(frontier, &g.Out) < PullDensityThreshold)
 			r.StartIteration()
+			cscIt := g.In.IterFrom(0)
 			for dst := 0; dst < n; dst++ {
 				r.SetVertex(graph.V(dst))
 				nextFrontier[dst] = false
 				best := dist[dst]
 				improved := false
-				lo, hi := g.In.OA[dst], g.In.OA[dst+1]
+				srcs, lo := cscIt.Next()
 				r.Load(oaArr, dst, PCOffsets)
-				for e := lo; e < hi; e++ {
-					r.Load(naArr, int(e), PCNeighbors)
-					src := g.In.NA[e]
+				for i, src := range srcs {
+					e := int(lo) + i
+					r.Load(naArr, e, PCNeighbors)
 					r.Load(frontierArr, int(src), PCFrontierRead)
 					r.Tick(1)
 					if !frontier[src] || dist[src] == infDist32 {
 						continue
 					}
 					r.Load(distArr, int(src), PCIrregRead)
-					r.Load(wtArr, int(e), PCStreamRead)
+					r.Load(wtArr, e, PCStreamRead)
 					if d := dist[src] + EdgeWeight(src, graph.V(dst)); d < best {
 						best = d
 						improved = true
@@ -129,6 +130,7 @@ func goldenBellmanFord(g *graph.Graph, source graph.V, rounds int) []uint32 {
 		dist[v] = infDist32
 	}
 	dist[source] = 0
+	var scratch []graph.V
 	for round := 0; round < rounds; round++ {
 		copy(next, dist)
 		changed := false
@@ -136,7 +138,7 @@ func goldenBellmanFord(g *graph.Graph, source graph.V, rounds int) []uint32 {
 			if dist[u] == infDist32 {
 				continue
 			}
-			for _, v := range g.Out.Neighs(graph.V(u)) {
+			for _, v := range g.Out.Neighbors(graph.V(u), &scratch) {
 				if d := dist[u] + EdgeWeight(graph.V(u), v); d < next[v] {
 					next[v] = d
 					changed = true

@@ -1,0 +1,23 @@
+//go:build !unix
+
+package mem
+
+import (
+	"fmt"
+	"os"
+)
+
+// Mapping is a read-only memory mapping of a file. On platforms without
+// mmap support this build never produces one; MapFile always errors and
+// callers use their pread path.
+type Mapping struct {
+	Data []byte
+}
+
+// MapFile reports that mapping is unsupported on this platform.
+func MapFile(f *os.File) (*Mapping, error) {
+	return nil, fmt.Errorf("mem: file mapping not supported on this platform")
+}
+
+// Close is a no-op on the stub.
+func (m *Mapping) Close() error { return nil }

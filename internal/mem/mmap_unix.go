@@ -1,0 +1,51 @@
+//go:build unix
+
+package mem
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Mapping is a read-only memory mapping of a file. Data aliases the page
+// cache directly, so consumers read container bytes with zero copies; the
+// kernel keeps resident only the pages actually touched, which is what
+// lets the trace replay window count mapped bytes instead of heap copies.
+type Mapping struct {
+	Data []byte
+}
+
+// MapFile maps f read-only in its entirety. Empty files cannot be mapped
+// (mmap of length 0 is an error on most systems); callers fall back to
+// pread. The file descriptor may be closed after MapFile returns — the
+// mapping keeps the pages alive.
+func MapFile(f *os.File) (*Mapping, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("mem: cannot map empty file %s", f.Name())
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mem: file %s too large to map (%d bytes)", f.Name(), size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mem: mmap %s: %w", f.Name(), err)
+	}
+	return &Mapping{Data: data}, nil
+}
+
+// Close unmaps the file. The Data slice (and every subslice handed out)
+// must not be touched afterwards.
+func (m *Mapping) Close() error {
+	if m.Data == nil {
+		return nil
+	}
+	data := m.Data
+	m.Data = nil
+	return syscall.Munmap(data)
+}

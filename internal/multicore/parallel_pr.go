@@ -91,12 +91,13 @@ func ParallelPageRank(m *Machine, g *graph.Graph, hook core.VertexIndexed, iters
 		for ci := 0; ci < cores; ci++ {
 			from := lo + ci*span/cores
 			to := lo + (ci+1)*span/cores
+			cscIt := g.In.IterFrom(graph.V(from))
 			for dst := from; dst < to; dst++ {
 				streams[ci].push(mem.Access{Addr: oaArr.Addr(dst), PC: kernels.PCOffsets}, 0, graph.V(dst))
 				sum := 0.0
-				for e := g.In.OA[dst]; e < g.In.OA[dst+1]; e++ {
-					src := g.In.NA[e]
-					streams[ci].push(mem.Access{Addr: naArr.Addr(int(e)), PC: kernels.PCNeighbors}, 0, graph.V(dst))
+				srcs, eLo := cscIt.Next()
+				for i, src := range srcs {
+					streams[ci].push(mem.Access{Addr: naArr.Addr(int(eLo) + i), PC: kernels.PCNeighbors}, 0, graph.V(dst))
 					streams[ci].push(mem.Access{Addr: contribArr.Addr(int(src)), PC: kernels.PCIrregRead}, 1, graph.V(dst))
 					sum += contrib[src]
 				}

@@ -46,14 +46,14 @@ func NewScatterPhase(g *graph.Graph, readModifyWrite bool) *UpdatePhase {
 	u := &UpdatePhase{Name: "Scatter", G: g, Space: sp, DstData: dst}
 	u.run = func(r *kernels.Runner) {
 		r.StartIteration()
+		csrIt := g.Out.IterFrom(0)
 		for src := 0; src < n; src++ {
 			r.SetVertex(graph.V(src))
 			r.Load(oa, src, kernels.PCOffsets)
 			r.Load(contrib, src, kernels.PCStreamRead)
-			lo, hi := g.Out.OA[src], g.Out.OA[src+1]
-			for e := lo; e < hi; e++ {
-				r.Load(na, int(e), kernels.PCNeighbors)
-				d := g.Out.NA[e]
+			dsts, lo := csrIt.Next()
+			for i, d := range dsts {
+				r.Load(na, int(lo)+i, kernels.PCNeighbors)
 				if readModifyWrite {
 					r.Load(dst, int(d), kernels.PCIrregRead)
 				}
@@ -83,8 +83,10 @@ func NewBinningPhase(g *graph.Graph, numBins int) *UpdatePhase {
 	binRange := (n + numBins - 1) / numBins
 	// Bin start offsets by counting destinations per bin.
 	binStart := make([]int, numBins+1)
+	countIt := g.Out.IterFrom(0)
 	for u := 0; u < n; u++ {
-		for _, d := range g.Out.Neighs(graph.V(u)) {
+		ds, _ := countIt.Next()
+		for _, d := range ds {
 			binStart[int(d)/binRange+1]++
 		}
 	}
@@ -96,14 +98,15 @@ func NewBinningPhase(g *graph.Graph, numBins int) *UpdatePhase {
 	u.run = func(r *kernels.Runner) {
 		cursor := make([]int, numBins)
 		r.StartIteration()
+		csrIt := g.Out.IterFrom(0)
 		for src := 0; src < n; src++ {
 			r.SetVertex(graph.V(src))
 			r.Load(oa, src, kernels.PCOffsets)
 			r.Load(contrib, src, kernels.PCStreamRead)
-			lo, hi := g.Out.OA[src], g.Out.OA[src+1]
-			for e := lo; e < hi; e++ {
-				r.Load(na, int(e), kernels.PCNeighbors)
-				b := int(g.Out.NA[e]) / binRange
+			ds, lo := csrIt.Next()
+			for i, d := range ds {
+				r.Load(na, int(lo)+i, kernels.PCNeighbors)
+				b := int(d) / binRange
 				r.Store(bins, binStart[b]+cursor[b], kernels.PCIrregWrite)
 				cursor[b]++
 				r.Tick(2)

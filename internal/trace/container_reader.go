@@ -1,10 +1,12 @@
 package trace
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -12,6 +14,7 @@ import (
 
 	"popt/internal/cache"
 	"popt/internal/graph"
+	"popt/internal/mem"
 )
 
 // This file is the read side of the chunked container (container.go holds
@@ -116,6 +119,14 @@ type Reader struct {
 	maxChunk  int64 // largest single chunk payload
 	streamCRC uint32
 
+	// data, when non-nil, is a zero-copy view of the whole container
+	// (an mmap of the file or a caller-held byte slice): chunkPayload
+	// returns subslices instead of pread copies, and the resident
+	// accounting counts mapped window bytes. closeFn releases whatever
+	// backs the Reader (mapping, file handle) when set.
+	data    []byte
+	closeFn func() error
+
 	// Stream totals out of the cfStats frame; tstats for KindTrace,
 	// the rest for KindLLC.
 	tstats       Stats
@@ -216,6 +227,77 @@ func OpenContainer(r io.ReaderAt, size int64) (*Reader, error) {
 	}
 	rd.meta = m
 	return rd, nil
+}
+
+// OpenContainerBytes opens a container held entirely in data (an mmap
+// view or an in-memory build). Chunk payloads are served as subslices —
+// zero copies — and the Reader runs in the "mapped" window mode.
+func OpenContainerBytes(data []byte) (*Reader, error) {
+	rd, err := OpenContainer(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	rd.data = data
+	return rd, nil
+}
+
+// OpenContainerFile opens the container at path, preferring a zero-copy
+// mmap of the file; when mapping is unavailable (platform stub, empty or
+// oversized file) it falls back to the bounded-window pread path over the
+// open file. Either way the caller owns the Reader and must Close it.
+func OpenContainerFile(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if mp, err := mem.MapFile(f); err == nil {
+		rd, err := OpenContainerBytes(mp.Data)
+		if err != nil {
+			mp.Close()
+			f.Close()
+			return nil, err
+		}
+		// The mapping keeps the pages; the descriptor can go now.
+		f.Close()
+		rd.closeFn = mp.Close
+		return rd, nil
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	rd, err := OpenContainer(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	rd.closeFn = f.Close
+	return rd, nil
+}
+
+// WindowMode reports how chunk windows are served: "mapped" (zero-copy
+// views of an mmap or in-memory container) or "copied" (pread into
+// per-chunk buffers).
+func (r *Reader) WindowMode() string {
+	if r.data != nil {
+		return "mapped"
+	}
+	return "copied"
+}
+
+// Close releases whatever backs the Reader (file mapping or descriptor).
+// Readers over caller-owned io.ReaderAts have nothing to release and
+// Close is a no-op. No replay may be in flight when Close is called: for
+// a mapped Reader the chunk views die with the mapping.
+func (r *Reader) Close() error {
+	if r.closeFn == nil {
+		return nil
+	}
+	fn := r.closeFn
+	r.closeFn = nil
+	r.data = nil
+	return fn()
 }
 
 // readFull reads exactly len(p) bytes at off.
@@ -449,16 +531,23 @@ func (r *Reader) release(n int64) { r.resident.Add(-n) }
 // charging it to the resident accounting (the caller releases it). The
 // on-disk frame header is re-parsed and cross-checked against the index
 // entry, so a container whose two copies disagree is rejected however it
-// is read.
+// is read. In mapped mode the returned slice is a zero-copy view of the
+// container bytes; the accounting then counts mapped window bytes, the
+// same bound with the copies removed.
 func (r *Reader) chunkPayload(c int) ([]byte, error) {
 	ci := r.chunks[c]
-	win := r.size - ci.off
-	if win > 64 {
-		win = 64 // a frame header is at most 1 + 4 maximal uvarints = 41 bytes
-	}
-	hdr := make([]byte, win)
-	if err := readFull(r.r, hdr, ci.off); err != nil {
-		return nil, fmt.Errorf("trace: container chunk %d header: %w", c, err)
+	var hdr []byte
+	if r.data != nil {
+		hdr = r.data[ci.off:]
+	} else {
+		win := r.size - ci.off
+		if win > 64 {
+			win = 64 // a frame header is at most 1 + 4 maximal uvarints = 41 bytes
+		}
+		hdr = make([]byte, win)
+		if err := readFull(r.r, hdr, ci.off); err != nil {
+			return nil, fmt.Errorf("trace: container chunk %d header: %w", c, err)
+		}
 	}
 	fh, j, err := parseFrameHeader(hdr, 0)
 	if err != nil {
@@ -472,10 +561,15 @@ func (r *Reader) chunkPayload(c int) ([]byte, error) {
 		return nil, fmt.Errorf("trace: container chunk %d payload overruns the data region", c)
 	}
 	r.acquire(int64(ci.length))
-	p := make([]byte, ci.length)
-	if err := readFull(r.r, p, payloadOff); err != nil {
-		r.release(int64(ci.length))
-		return nil, fmt.Errorf("trace: container chunk %d payload: %w", c, err)
+	var p []byte
+	if r.data != nil {
+		p = r.data[payloadOff : payloadOff+int64(ci.length) : payloadOff+int64(ci.length)]
+	} else {
+		p = make([]byte, ci.length)
+		if err := readFull(r.r, p, payloadOff); err != nil {
+			r.release(int64(ci.length))
+			return nil, fmt.Errorf("trace: container chunk %d payload: %w", c, err)
+		}
 	}
 	if crc := crc32.ChecksumIEEE(p); crc != ci.crc {
 		r.release(int64(ci.length))
@@ -591,14 +685,23 @@ type ReplayOptions struct {
 	Window int
 }
 
+// DefaultReplayWorkers returns the worker count a zero ReplayOptions
+// resolves to on this host — min(GOMAXPROCS, 8) — so footprint reports
+// can state the default window bound (2x workers x chunk bytes) without
+// duplicating the policy.
+func DefaultReplayWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
 // resolve applies the documented defaults.
 func (o ReplayOptions) resolve() (workers, window int) {
 	workers = o.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > 8 {
-			workers = 8
-		}
+		workers = DefaultReplayWorkers()
 	}
 	window = o.Window
 	if window <= 0 {
